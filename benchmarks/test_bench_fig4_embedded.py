@@ -1,0 +1,85 @@
+"""E4 — Figure 4: the embedded microprocessor system, end to end.
+
+Paper claim (Section 4.1): interface co-synthesis (Chinook [11])
+produces the I/O drivers and interface logic from a common
+specification, and pin/bus-level co-simulation (Becker et al. [4])
+validates software running against the surrounding hardware.
+
+Measured: the full generate-and-run loop — synthesize register map,
+glue, and drivers for three peripherals; assemble the generated driver
+under an application; co-simulate with a hardware timer raising real
+interrupts — transmits the right bytes and services every interrupt.
+"""
+
+from repro.cosim.kernel import Simulator
+from repro.interface.chinook import synthesize_interface
+from repro.interface.spec import gpio_spec, timer_spec, uart_spec
+from repro.isa.cpu import Cpu, Memory
+from repro.isa.instructions import Isa
+
+MAIN = """
+        li   r1, 0x48
+        jal  write_uart_data
+        li   r1, 0x49
+        jal  write_uart_data
+    wait_ticks:
+        lw   r2, 0x700(r0)
+        addi r3, r0, 3
+        blt  r2, r3, wait_ticks
+        halt
+"""
+
+
+def run_embedded_system():
+    design = synthesize_interface([uart_spec(), timer_spec(), gpio_spec()])
+    program = design.build_program(MAIN)
+    mem = Memory()
+    mem.load_image(program.image)
+    cpu = Cpu(Isa(), mem)
+    sim = Simulator()
+    transmitted = []
+    stores = {"uart": {}, "timer": {}, "gpio": {}}
+
+    def model_for(name):
+        def model(offset, value, is_write):
+            if is_write:
+                if name == "uart" and offset == 0:
+                    transmitted.append(value)
+                stores[name][offset] = value
+                return 0
+            return stores[name].get(offset, 0)
+        return model
+
+    backplane = design.deploy(
+        sim, cpu, {name: model_for(name) for name in stores}
+    )
+
+    def timer_hw():
+        for _ in range(3):
+            yield sim.timeout(1500.0)
+            backplane.raise_device_irq("timer")
+
+    sim.process(timer_hw(), name="timer_hw")
+    sim.run(until=1e7)
+    timer_bit = design.glue.irq_lines.index("timer")
+    ticks = cpu.memory.ram.get(
+        design.driver.irq_counter_base + timer_bit, 0
+    )
+    return design, cpu, transmitted, ticks
+
+
+def test_fig4_embedded_system(benchmark):
+    design, cpu, transmitted, ticks = benchmark(run_embedded_system)
+
+    assert cpu.halted, "application must terminate"
+    assert transmitted == [0x48, 0x49], "UART must see 'H','I'"
+    assert ticks == 3, "every timer interrupt must be serviced"
+    assert design.glue_area > 0
+    # the synthesized pieces agree on addresses by construction:
+    # reading the regmap symbol the driver used hits the right device
+    addr = design.regmap.address_of("uart", "data")
+    assert design.glue.decode(addr) == ("uart", 0)
+
+    benchmark.extra_info["glue_area_gates"] = design.glue_area
+    benchmark.extra_info["instructions_executed"] = cpu.instr_count
+    benchmark.extra_info["irqs_serviced"] = ticks

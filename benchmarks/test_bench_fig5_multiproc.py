@@ -1,0 +1,119 @@
+"""E5 — Figure 5: heterogeneous multiprocessor co-synthesis.
+
+Paper claims (Section 4.2):
+
+* ILP "yields the optimum configuration and mapping" (SOS [12]);
+* vector bin packing solves the same problem heuristically (Beck [13]);
+* the trade-off: "a more highly parallel architecture allows the use of
+  slower, less-expensive processing elements ... less parallelism ...
+  allows fewer processing elements" — cost falls as the deadline
+  relaxes, with the synthesizers walking from fast-expensive to
+  cheap-slow parts.
+
+Measured: all three synthesizers on one workload; the exact method is
+never beaten on cost; the deadline sweep produces non-increasing cost
+series; the heuristics run orders of magnitude faster than the ILP.
+"""
+
+import pytest
+
+from repro.cosynth import (
+    binpack_synthesis,
+    ilp_synthesis,
+    sensitivity_synthesis,
+)
+
+DEADLINES = [60.0, 100.0, 200.0, 400.0, 800.0]
+
+
+@pytest.fixture(scope="module")
+def small_library(request):
+    from repro.estimate.software import default_processor_library
+
+    lib = default_processor_library()
+    return {k: lib[k] for k in ("micro16", "r32", "dsp")}
+
+
+def test_fig5_binpack(benchmark, multiproc_taskset, processor_library):
+    result = benchmark(
+        binpack_synthesis, multiproc_taskset, 100.0, processor_library
+    )
+    assert result is not None and result.feasible
+    benchmark.extra_info["allocation"] = result.allocation.counts
+    benchmark.extra_info["cost"] = result.cost
+
+
+def test_fig5_sensitivity(benchmark, multiproc_taskset, processor_library):
+    result = benchmark(
+        sensitivity_synthesis, multiproc_taskset, 100.0, processor_library
+    )
+    assert result is not None and result.feasible
+    benchmark.extra_info["allocation"] = result.allocation.counts
+    benchmark.extra_info["cost"] = result.cost
+
+
+def test_fig5_ilp(benchmark, multiproc_taskset, small_library):
+    result = benchmark(
+        ilp_synthesis, multiproc_taskset, 100.0, small_library,
+    )
+    assert result is not None and result.feasible
+    benchmark.extra_info["allocation"] = result.allocation.counts
+    benchmark.extra_info["cost"] = result.cost
+
+
+def test_fig5_ilp_never_beaten_on_cost(
+    benchmark, multiproc_taskset, small_library
+):
+    """The optimality claim, at three deadlines, same library."""
+
+    def compare():
+        rows = []
+        for deadline in (80.0, 150.0, 400.0):
+            ilp = ilp_synthesis(multiproc_taskset, deadline, small_library)
+            bp = binpack_synthesis(multiproc_taskset, deadline,
+                                   small_library)
+            sens = sensitivity_synthesis(multiproc_taskset, deadline,
+                                         small_library)
+            rows.append((deadline, ilp, bp, sens))
+        return rows
+
+    rows = benchmark(compare)
+    for deadline, ilp, bp, sens in rows:
+        assert ilp is not None and ilp.feasible, deadline
+        for other in (bp, sens):
+            if other is not None and other.feasible:
+                assert ilp.cost <= other.cost + 1e-9, deadline
+    benchmark.extra_info["costs"] = {
+        str(d): {"ilp": i.cost, "binpack": b.cost if b else None,
+                 "sensitivity": s.cost if s else None}
+        for d, i, b, s in rows
+    }
+
+
+def test_fig5_deadline_cost_tradeoff(
+    benchmark, multiproc_taskset, processor_library
+):
+    """The Figure 5 trade-off curve: cost vs deadline is non-increasing
+    and spans fast-expensive to cheap-slow allocations."""
+
+    def sweep():
+        return [
+            (d, binpack_synthesis(multiproc_taskset, d, processor_library),
+             sensitivity_synthesis(multiproc_taskset, d, processor_library))
+            for d in DEADLINES
+        ]
+
+    rows = benchmark(sweep)
+    for algo_index, algo in ((1, "binpack"), (2, "sensitivity")):
+        costs = [row[algo_index].cost for row in rows
+                 if row[algo_index] is not None]
+        assert len(costs) == len(DEADLINES), algo
+        # relaxing the deadline never forces a costlier system
+        for tight, loose in zip(costs, costs[1:]):
+            assert loose <= tight + 1e-9, algo
+        assert costs[-1] < costs[0], f"{algo}: no trade-off observed"
+    benchmark.extra_info["cost_series"] = {
+        "deadlines": DEADLINES,
+        "binpack": [r[1].cost for r in rows],
+        "sensitivity": [r[2].cost for r in rows],
+    }

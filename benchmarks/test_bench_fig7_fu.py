@@ -1,0 +1,72 @@
+"""E7 — Figure 7: special-purpose functional units, statically and
+reconfigured on the fly.
+
+Paper claims (Section 4.4): adding special-purpose FUs to a processor
+speeds up the application; and with field-programmable hardware "the
+hardware/software partition need not be static and could be adapted on
+the fly to suit a wide variety of circumstances" [15].
+
+Measured, on a two-phase workload (filter phase, then CRC phase) with a
+fabric too small for both phases' best FU sets at once:
+
+* per-phase FU sets always compute at least as fast as the best static
+  compromise of equal area;
+* whether reconfiguration *wins overall* depends on amortization:
+  with few iterations per phase the reconfiguration cost dominates,
+  with many it vanishes — the crossover the figure's discussion implies.
+"""
+
+import pytest
+
+from repro.asip.metamorphosis import best_static_plan, plan_metamorphosis
+from repro.graph import kernels
+
+COEFFS = [3, -5, 7, 2, 9, -1, 4, 6]
+FABRIC = 250.0
+RECONFIG = 100_000
+
+
+def phases():
+    return {
+        "filter": {"fir": (kernels.fir(8, coefficients=COEFFS), 8.0)},
+        "check": {"crc": (kernels.crc_step(), 8.0)},
+    }
+
+
+def run_comparison(iterations):
+    morph = plan_metamorphosis(
+        phases(), FABRIC, reconfig_cycles=RECONFIG,
+        iterations_per_phase=iterations,
+    )
+    static = best_static_plan(
+        phases(), FABRIC, iterations_per_phase=iterations
+    )
+    return morph, static
+
+
+def test_fig7_reconfigurable_fus(benchmark):
+    results = benchmark(
+        lambda: {n: run_comparison(n) for n in (1, 10_000)}
+    )
+    short_morph, short_static = results[1]
+    long_morph, long_static = results[10_000]
+
+    # adapting always wins on pure compute (ignoring reconfig cost)
+    assert short_morph.compute_cycles <= short_static.compute_cycles
+    assert long_morph.compute_cycles <= long_static.compute_cycles
+
+    # the crossover: reconfig overhead dominates short phases...
+    assert short_morph.total_cycles > short_static.total_cycles
+    # ...and amortizes away over long phases
+    assert long_morph.total_cycles < long_static.total_cycles
+
+    # the phase-specialized instruction sets genuinely differ
+    sets = [frozenset(p.instructions) for p in long_morph.phases]
+    assert len(set(sets)) > 1, "phases chose identical FU sets"
+
+    benchmark.extra_info["crossover"] = {
+        "short": {"morph": short_morph.total_cycles,
+                  "static": short_static.total_cycles},
+        "long": {"morph": long_morph.total_cycles,
+                 "static": long_static.total_cycles},
+    }

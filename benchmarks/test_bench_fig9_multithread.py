@@ -1,0 +1,95 @@
+"""E9 — Figure 9: multi-threaded co-processors.
+
+Paper claims (Section 4.5.1):
+
+* the multi-threaded co-processor "is able to implement concurrent
+  threads of control", complicating partitioning with "the opportunity
+  to exploit parallelism both between hardware and software components
+  and among hardware components";
+* [10] partitions "in a way that considers minimizing the communication
+  between the hardware and software components and maximizing the
+  concurrency";
+* [3] verifies such systems with message-level (send/receive/wait)
+  co-simulation.
+
+Measured: on a fork-join workload, more controllers buy latency until
+the controller overhead wins; the communication/concurrency-aware
+partitioner is never beaten by the ablated (blind) one when both are
+judged by the real evaluation; and the partitioned system passes
+message-level co-simulation with latency agreeing with the analytic
+schedule.
+"""
+
+import random
+
+import pytest
+
+from repro.core.flow import simulate_partition
+from repro.cosynth.multithread import (
+    communication_blind_partition,
+    synthesize_multithreaded,
+)
+from repro.estimate.communication import TIGHT
+from repro.graph.generators import fork_join_graph
+from repro.graph.kernels import modem_taskgraph
+
+
+def workload():
+    return fork_join_graph(random.Random(3), n_branches=4, branch_len=2)
+
+
+def test_fig9_thread_count_sweep(benchmark):
+    design = benchmark(synthesize_multithreaded, workload(), None, None,
+                       TIGHT, )
+    assert design.threads >= 2, \
+        "a fork-join workload should justify multiple controllers"
+    single = synthesize_multithreaded(workload(), max_threads=1)
+    assert design.latency_ns <= single.latency_ns
+    benchmark.extra_info["chosen_threads"] = design.threads
+    benchmark.extra_info["sweep"] = design.sweep
+    benchmark.extra_info["latency_vs_single"] = (
+        design.latency_ns, single.latency_ns
+    )
+
+
+@pytest.mark.parametrize("graph_name", ["forkjoin", "modem"])
+def test_fig9_comm_aware_vs_blind(benchmark, graph_name):
+    graph = workload() if graph_name == "forkjoin" else modem_taskgraph()
+
+    def compare():
+        aware = synthesize_multithreaded(graph.copy(), comm=TIGHT,
+                                         max_threads=3)
+        blind = communication_blind_partition(graph.copy(), comm=TIGHT,
+                                              max_threads=3)
+        return aware, blind
+
+    aware, blind = benchmark(compare)
+    aware_score = (round(aware.latency_ns, 6),
+                   round(aware.partition.evaluation.comm_ns, 6))
+    blind_score = (round(blind.latency_ns, 6),
+                   round(blind.partition.evaluation.comm_ns, 6))
+    assert aware_score <= blind_score, \
+        "seeing communication/concurrency must not hurt"
+    benchmark.extra_info["aware"] = aware_score
+    benchmark.extra_info["blind"] = blind_score
+
+
+def test_fig9_message_level_validation(benchmark):
+    """[3]: the partitioned multi-threaded system runs correctly under
+    send/receive/wait co-simulation, agreeing with the schedule."""
+    graph = workload()
+    design = synthesize_multithreaded(graph, comm=TIGHT, max_threads=4)
+
+    simulated = benchmark(
+        simulate_partition, design.partition.problem,
+        design.partition.hw_tasks,
+    )
+    assert len(simulated.finish_times) == len(graph)
+    ratio = design.latency_ns / simulated.latency_ns
+    assert 0.7 <= ratio <= 1.3, "schedule and simulation must agree"
+    benchmark.extra_info["analytic_ns"] = design.latency_ns
+    benchmark.extra_info["simulated_ns"] = simulated.latency_ns
+    benchmark.extra_info["messages"] = simulated.messages
+
+    clusters = design.hw_thread_assignment()
+    assert len(clusters) <= design.threads

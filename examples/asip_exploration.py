@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Figures 6 & 7: ASIP exploration and instruction-set metamorphosis.
+
+Part 1 (Figure 6) mines custom-instruction candidates from three DSP
+kernels, sweeps the functional-unit area budget, and *measures* each
+design point by running the recompiled binaries on the extended R32 —
+the area/speedup frontier of application-specific instruction-set
+processor design.
+
+Part 2 (Figure 7) makes the functional units field-programmable: a
+two-phase workload (filtering, then CRC checking) lets a reconfigurable
+processor re-select its instruction set per phase, against a static
+processor that must compromise.
+
+Run:  python examples/asip_exploration.py
+"""
+
+from repro.asip.explore import explore_asip
+from repro.asip.metamorphosis import best_static_plan, plan_metamorphosis
+from repro.graph import kernels
+
+COEFFS = [3, -5, 7, 2, 9, -1, 4, 6]
+
+
+def part1_frontier() -> None:
+    workloads = {
+        "fir": (kernels.fir(8, coefficients=COEFFS), 5.0),
+        "crc": (kernels.crc_step(), 10.0),
+        "ewf": (kernels.elliptic_wave_filter(constant_coefficients=True),
+                3.0),
+    }
+    weights = {name: w for name, (_g, w) in workloads.items()}
+    print("=== Figure 6: instruction-subset selection frontier ===")
+    print(f"{'budget':>8s} {'area':>8s} {'#instr':>7s} {'speedup':>8s}  "
+          "instructions")
+    for point in explore_asip(workloads, [0, 100, 300, 600, 1200, 2400]):
+        print(f"{point.budget:8.0f} {point.custom_area:8.0f} "
+              f"{len(point.instructions):7d} "
+              f"{point.speedup(weights):8.3f}  "
+              f"{','.join(point.instructions) or '-'}")
+    print()
+    print("every point was verified: the rewritten binaries produce")
+    print("bit-identical outputs to the stock-ISA binaries.")
+    print()
+
+
+def part2_metamorphosis() -> None:
+    phases = {
+        "filter": {"fir": (kernels.fir(8, coefficients=COEFFS), 8.0)},
+        "check": {"crc": (kernels.crc_step(), 8.0)},
+    }
+    fabric = 250.0
+    print("=== Figure 7: reconfigurable special-purpose FUs ===")
+    print(f"fabric area: {fabric:.0f} gates, "
+          "phases: filter -> check")
+    for iters in (1, 100, 10_000):
+        morph = plan_metamorphosis(
+            phases, fabric, reconfig_cycles=100_000,
+            iterations_per_phase=iters,
+        )
+        static = best_static_plan(phases, fabric,
+                                  iterations_per_phase=iters)
+        winner = "reconfigurable" if morph.total_cycles < \
+            static.total_cycles else "static"
+        print(f"  {iters:6d} iterations/phase: "
+              f"reconfig {morph.total_cycles:12.0f} cyc vs "
+              f"static {static.total_cycles:12.0f} cyc -> {winner}")
+    print()
+    print("short phases: reconfiguration overhead dominates; long")
+    print("phases amortize it - the adapt-on-the-fly trade-off of 4.4.")
+
+
+def main() -> None:
+    part1_frontier()
+    part2_metamorphosis()
+
+
+if __name__ == "__main__":
+    main()

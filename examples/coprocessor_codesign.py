@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Figure 8: application-specific co-processor co-design.
+
+Three behaviors (a DCT, an FIR filter, and a CRC update) are
+implemented *both* ways from one CDFG each — R32 machine code by the
+compiler, a datapath + FSM by high-level synthesis — then partitioned
+between the instruction-set processor and a single-threaded
+co-processor.  The example also contrasts the two extraction
+directions the paper surveys:
+
+* Vulcan-style (Gupta-De Micheli [6]): start all-hardware, move to
+  software while performance holds — minimizes hardware;
+* COSYMA-style (Henkel-Ernst [17]): start all-software, move hot spots
+  to hardware — minimizes disruption.
+
+Run:  python examples/coprocessor_codesign.py
+"""
+
+from repro.cosynth.coprocessor import synthesize_coprocessor
+from repro.graph import kernels
+
+
+def main() -> None:
+    behaviors = {
+        "dct": kernels.dct4(),
+        "fir": kernels.fir(8),
+        "crc": kernels.crc_step(),
+    }
+    dataflow = [("fir", "dct", 8.0), ("dct", "crc", 4.0)]
+
+    print("behavior characterization (measured, not estimated):")
+    header = f"  {'behavior':8s} {'sw ns':>8s} {'hw ns':>8s} " \
+             f"{'hw area':>8s} {'parallel':>9s}"
+    print(header)
+    design = synthesize_coprocessor(
+        behaviors, dataflow, deadline_ns=1500.0, algorithm="cosyma"
+    )
+    for name, impl in sorted(design.behaviors.items()):
+        t = impl.task
+        print(f"  {name:8s} {t.sw_time:8.0f} {t.hw_time:8.0f} "
+              f"{t.hw_area:8.0f} {t.parallelism:9.2f}")
+    print()
+
+    for algorithm in ("cosyma", "vulcan"):
+        design = synthesize_coprocessor(
+            behaviors, dataflow, deadline_ns=1500.0, algorithm=algorithm
+        )
+        verified = design.verify_all()
+        print(f"{algorithm:8s} -> {design.summary()}")
+        print(f"          hardware/software/reference agreement: "
+              f"{'PASS' if verified else 'FAIL'}")
+    print()
+    print("(every behavior's generated machine code and synthesized")
+    print(" datapath were executed and checked against the dataflow")
+    print(" reference - Section 3.2's unified functionality in action)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Figure 4: an embedded microprocessor system, interface-synthesized.
+
+The Chinook-style flow [11] takes one shared specification of three
+peripherals (UART, timer, GPIO) and generates *both* sides of the
+interface: the glue logic (address decoder, interrupt combiner,
+wait-state counters) and the software drivers (register access
+routines, interrupt dispatch) — then the whole system is co-simulated:
+the generated drivers run on the R32 against the generated glue, with
+a hardware timer process raising real interrupts.
+
+Run:  python examples/embedded_interface.py
+"""
+
+from repro.cosim.kernel import Simulator
+from repro.interface.chinook import synthesize_interface
+from repro.interface.spec import gpio_spec, timer_spec, uart_spec
+from repro.isa.cpu import Cpu, Memory
+from repro.isa.instructions import Isa
+
+MAIN = """
+        ; transmit a few bytes, then spin until 3 timer ticks arrived
+        li   r1, 0x48           ; 'H'
+        jal  write_uart_data
+        li   r1, 0x49           ; 'I'
+        jal  write_uart_data
+    wait_ticks:
+        lw   r2, 0x700(r0)      ; timer tick counter (bumped by the ISR)
+        addi r3, r0, 3
+        blt  r2, r3, wait_ticks
+        halt
+"""
+
+
+def main() -> None:
+    design = synthesize_interface([uart_spec(), timer_spec(), gpio_spec()])
+    print(design.report())
+    print()
+
+    program = design.build_program(MAIN)
+    mem = Memory()
+    mem.load_image(program.image)
+    cpu = Cpu(Isa(), mem)
+    sim = Simulator()
+
+    transmitted = []
+    stores = {"uart": {}, "timer": {}, "gpio": {}}
+
+    def uart_model(offset, value, is_write):
+        if is_write and offset == 0:
+            transmitted.append(value)
+        if is_write:
+            stores["uart"][offset] = value
+            return 0
+        return stores["uart"].get(offset, 0)
+
+    def plain_model(name):
+        def model(offset, value, is_write):
+            if is_write:
+                stores[name][offset] = value
+                return 0
+            return stores[name].get(offset, 0)
+        return model
+
+    backplane = design.deploy(sim, cpu, {
+        "uart": uart_model,
+        "timer": plain_model("timer"),
+        "gpio": plain_model("gpio"),
+    })
+
+    def timer_hardware():
+        for _tick in range(3):
+            yield sim.timeout(1500.0)
+            backplane.raise_device_irq("timer")
+
+    sim.process(timer_hardware(), name="timer_hw")
+    sim.run(until=1e7)
+
+    timer_bit = design.glue.irq_lines.index("timer")
+    ticks = cpu.memory.ram.get(design.driver.irq_counter_base + timer_bit, 0)
+    print("co-simulation results:")
+    print(f"  CPU halted:        {cpu.halted}")
+    print(f"  UART transmitted:  "
+          f"{''.join(chr(b) for b in transmitted)!r}")
+    print(f"  timer interrupts:  {ticks} serviced "
+          f"(of 3 raised by the hardware model)")
+    print(f"  simulated time:    {sim.now:.0f} ns, "
+          f"{cpu.instr_count} instructions")
+    print(f"  glue area:         {design.glue_area:.0f} gates")
+
+
+if __name__ == "__main__":
+    main()

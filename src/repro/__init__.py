@@ -1,0 +1,54 @@
+"""repro — an executable reproduction of Adams & Thomas, DAC 1996.
+
+``repro`` implements the hardware/software co-design framework described in
+*The Design of Mixed Hardware/Software Systems* (33rd DAC, 1996) as a
+working Python library:
+
+* :mod:`repro.core` — the paper's primary contribution: the Type I / Type II
+  system taxonomy, the design-task classification, and the four-criteria
+  characterization engine, plus an end-to-end co-design flow driver.
+* :mod:`repro.graph` — task graphs, control/data-flow graphs, generators,
+  and a DSP kernel library.
+* :mod:`repro.spec` — communicating-process system specifications.
+* :mod:`repro.isa` — the R32 instruction set, assembler, cycle-level CPU
+  simulator, code generator, and profiler (the software side).
+* :mod:`repro.hls` — high-level synthesis (the hardware side).
+* :mod:`repro.estimate` — hardware/software/communication estimators,
+  including incremental hardware estimation with sharing.
+* :mod:`repro.cosim` — discrete-event co-simulation at four interface
+  abstraction levels (pin, register/interrupt, bus transaction, message).
+* :mod:`repro.partition` — hardware/software partitioning algorithms and
+  the six-factor cost model of Section 3.3.
+* :mod:`repro.cosynth` — co-synthesis flows (heterogeneous multiprocessors,
+  co-processors, multi-threaded co-processors).
+* :mod:`repro.interface` — Chinook-style interface synthesis.
+* :mod:`repro.asip` — application-specific instruction-set processor design
+  and special-purpose functional units.
+
+Quickstart::
+
+    from repro.graph.generators import random_layered_graph
+    from repro.partition import PartitionProblem, simulated_annealing
+    import random
+
+    graph = random_layered_graph(random.Random(1), n_tasks=12)
+    problem = PartitionProblem.from_task_graph(graph, hw_area_budget=500.0)
+    result = simulated_annealing(problem, rng=random.Random(2))
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "graph",
+    "spec",
+    "isa",
+    "hls",
+    "estimate",
+    "cosim",
+    "partition",
+    "cosynth",
+    "interface",
+    "asip",
+]

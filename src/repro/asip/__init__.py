@@ -1,0 +1,44 @@
+"""Application-specific instruction-set processors (Sections 4.3, 4.4).
+
+"In some cases, the design of an application-specific instruction set
+processor affords the opportunity to move the boundary between hardware
+and software by, for instance, adding new instructions to the
+instruction set architecture.  In these cases, hardware/software
+co-design for an instruction set processor can include hardware/
+software partitioning."
+
+* :mod:`repro.asip.custom` — custom-instruction identification: mine
+  application CDFGs for fusable dependent-operation pairs, build the
+  :class:`repro.isa.instructions.CustomOp` (semantics, latency, area)
+  and the codegen :class:`repro.isa.codegen.Fusion` directives;
+* :mod:`repro.asip.selection` — instruction-subset selection under an
+  area budget (exact 0/1 knapsack), PEAS-I style [14];
+* :mod:`repro.asip.explore` — design-space exploration producing the
+  area/speedup frontier by actually running the rewritten programs;
+* :mod:`repro.asip.metamorphosis` — Athanas–Silverman instruction-set
+  metamorphosis [15]: reconfigure the special-purpose functional units
+  between program phases, trading reconfiguration time for a better
+  per-phase instruction set (Figure 7's "adapted on the fly").
+"""
+
+from repro.asip.custom import CustomCandidate, mine_candidates
+from repro.asip.selection import select_instructions
+from repro.asip.explore import AsipDesignPoint, explore_asip
+from repro.asip.metamorphosis import (
+    PhaseResult,
+    ReconfigurablePlan,
+    plan_metamorphosis,
+    best_static_plan,
+)
+
+__all__ = [
+    "CustomCandidate",
+    "mine_candidates",
+    "select_instructions",
+    "AsipDesignPoint",
+    "explore_asip",
+    "PhaseResult",
+    "ReconfigurablePlan",
+    "plan_metamorphosis",
+    "best_static_plan",
+]

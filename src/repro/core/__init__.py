@@ -1,0 +1,56 @@
+"""The paper's primary contribution, executable.
+
+Adams & Thomas's tutorial contributes a *framework of criteria* for
+classifying hardware/software co-design methodologies (Section 5):
+
+1. the **type** of HW/SW system (Type I / Type II) — Figure 1;
+2. the **design tasks** addressed (co-simulation, co-synthesis,
+   partitioning) — Figure 2;
+3. for co-simulation, the **interface abstraction level** — Figure 3;
+4. for partitioning, the **factors considered** — Section 3.3.
+
+This package encodes the framework (:mod:`repro.core.taxonomy`), the
+characterization/comparison engine (:mod:`repro.core.criteria`), the
+paper's Section 4 example systems as *live, runnable* methodology
+objects backed by the rest of this library (:mod:`repro.core.examples`),
+and an end-to-end co-design flow driver (:mod:`repro.core.flow`).
+"""
+
+from repro.core.taxonomy import (
+    Abstraction,
+    ComponentModel,
+    DesignTask,
+    Domain,
+    InterfaceLevel,
+    PartitionFactor,
+    SystemModel,
+    SystemType,
+    classify_system,
+)
+from repro.core.criteria import (
+    Characterization,
+    Methodology,
+    MethodologyRegistry,
+    characterize,
+    comparison_table,
+)
+from repro.core.flow import CodesignFlow, FlowReport
+
+__all__ = [
+    "SystemType",
+    "DesignTask",
+    "InterfaceLevel",
+    "PartitionFactor",
+    "Domain",
+    "Abstraction",
+    "ComponentModel",
+    "SystemModel",
+    "classify_system",
+    "Methodology",
+    "Characterization",
+    "MethodologyRegistry",
+    "characterize",
+    "comparison_table",
+    "CodesignFlow",
+    "FlowReport",
+]

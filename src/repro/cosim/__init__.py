@@ -1,0 +1,46 @@
+"""Discrete-event co-simulation at multiple interface abstraction levels.
+
+Section 3.1 of the paper: *"Hardware/software co-simulation requires a
+simulation environment that can understand the semantics of both the
+hardware and the software components and how actions in one domain affect
+the state of the other. The interaction of the hardware and software may
+be modeled at a variety of abstraction levels."*
+
+Figure 3's ladder is implemented as four interchangeable interface
+models, from most accurate/most expensive to least:
+
+1. :mod:`repro.cosim.pinlevel` — signal activity on the wires of the
+   system bus, one simulation event per bus phase (Becker et al. [4]).
+2. :mod:`repro.cosim.translevel` — register reads/writes and interrupt
+   lines as atomic timed transactions.
+3. bus transactions — burst transfers on :class:`repro.cosim.bus.SystemBus`
+   occupying the bus for a computed duration.
+4. :mod:`repro.cosim.msglevel` — operating-system-style ``send``,
+   ``receive`` and ``wait`` on typed channels (Coumeri & Thomas [3]).
+
+All four run on the same generator-based kernel
+(:class:`repro.cosim.kernel.Simulator`), so experiment E3 can hold the
+application constant and vary only the interface model.
+"""
+
+from repro.cosim.kernel import (
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.cosim.signals import Clock, Signal, Trace
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "Interrupt",
+    "Signal",
+    "Clock",
+    "Trace",
+]

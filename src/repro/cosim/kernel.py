@@ -1,0 +1,338 @@
+"""A generator-based discrete-event simulation kernel.
+
+Simulation processes are Python generators that ``yield`` *waitables*:
+
+* :class:`Timeout` — resume after a model-time delay;
+* :class:`Event` — resume when the event is succeeded, receiving its value;
+* :class:`Process` — resume when another process terminates (join);
+* :class:`AnyOf` — resume when the first of several events fires.
+
+The kernel is deliberately small and deterministic: simultaneous events
+fire in the order they were scheduled.  It also counts every process
+resumption in :attr:`Simulator.activations`, which is the *computational
+cost* metric used by experiment E3 to quantify the paper's claim that
+pin-level co-simulation "is most accurate ... but is computationally
+expensive" while message-level modeling "is very efficient
+computationally".
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (bad yields, double-success, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    Models asynchronous preemption (a hardware interrupt hitting polling
+    software, a reset).  The interrupted process may catch it and
+    continue; the waitable it was blocked on is abandoned.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence carrying an optional value.
+
+    Processes wait on an event by yielding it.  ``succeed(value)`` wakes
+    every waiter at the current simulation time.  An event fires at most
+    once; reusable notifications re-arm a fresh event (see
+    :class:`repro.cosim.signals.Signal`).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List[Tuple["Process", int]] = []
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event, delivering ``value`` to every waiter."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self.value = value
+        for proc, token in self._waiters:
+            self.sim._schedule(0.0, proc, value, token)
+        self._waiters.clear()
+        for cb in self._callbacks:
+            cb(self)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Call ``fn(event)`` when the event fires (immediately if it
+        already has).  Used by :class:`AnyOf` and monitors."""
+        if self.triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _add_waiter(self, proc: "Process", token: int) -> None:
+        if self.triggered:
+            self.sim._schedule(0.0, proc, self.value, token)
+        else:
+            self._waiters.append((proc, token))
+
+    def __repr__(self) -> str:
+        state = "fired" if self.triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class Timeout:
+    """Delay for a fixed amount of model time, optionally with a value."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+        self.value = value
+
+
+class AnyOf:
+    """Wait for the first of several events; the process receives the
+    pair ``(event, value)`` of whichever fired first."""
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf requires at least one event")
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Yield a :class:`Process` from another process to join it; the joiner
+    receives the process's return value (``return x`` inside the
+    generator).
+
+    Every yield increments an internal *wait token*; scheduled wakeups
+    carry the token they were issued under and are dropped if the process
+    has since been resumed by something else (e.g. an interrupt).  This
+    makes interrupts safe in the presence of pending timeouts.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.done = Event(sim, f"{name}.done")
+        self.result: Any = None
+        self._alive = True
+        self._token = 0
+        self._pending_interrupt: Optional[Interrupt] = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process has not yet terminated."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self._alive:
+            return
+        self._pending_interrupt = Interrupt(cause)
+        self.sim._schedule(0.0, self, None, self._token)
+
+    def _resume(self, value: Any, token: int) -> None:
+        if token != self._token:
+            return  # stale wakeup from an abandoned waitable
+        self.sim.activations += 1
+        try:
+            if self._pending_interrupt is not None:
+                exc, self._pending_interrupt = self._pending_interrupt, None
+                command = self.gen.throw(exc)
+            else:
+                command = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # the process chose not to handle its interruption: it dies
+            self._finish(None)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        self._token += 1
+        token = self._token
+        if isinstance(command, Timeout):
+            self.sim._schedule(command.delay, self, command.value, token)
+        elif isinstance(command, Event):
+            command._add_waiter(self, token)
+        elif isinstance(command, Process):
+            command.done._add_waiter(self, token)
+        elif isinstance(command, AnyOf):
+            self._wait_any(command, token)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {command!r}"
+            )
+
+    def _wait_any(self, anyof: AnyOf, token: int) -> None:
+        fired = {"done": False}
+
+        def on_fire(event: Event) -> None:
+            if not fired["done"]:
+                fired["done"] = True
+                self.sim._schedule(0.0, self, (event, event.value), token)
+
+        for event in anyof.events:
+            event.add_callback(on_fire)
+
+    def _finish(self, result: Any) -> None:
+        self._alive = False
+        self._token += 1  # invalidate any remaining wakeups
+        self.result = result
+        self.done.succeed(result)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+class Resource:
+    """A FIFO mutual-exclusion resource (bus grant, processor, ...).
+
+    Usage from a process::
+
+        yield from resource.acquire()
+        ...critical section...
+        resource.release()
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "resource") -> None:
+        self.sim = sim
+        self.name = name
+        self._busy = False
+        self._waiters: List[Event] = []
+        self.acquisitions = 0
+        self.total_wait = 0.0
+
+    @property
+    def busy(self) -> bool:
+        """Whether the resource is currently held."""
+        return self._busy
+
+    def acquire(self) -> Generator:
+        """Generator: block until the resource is granted to the caller."""
+        start = self.sim.now
+        if self._busy:
+            gate = Event(self.sim, f"{self.name}.grant")
+            self._waiters.append(gate)
+            yield gate
+        self._busy = True
+        self.acquisitions += 1
+        self.total_wait += self.sim.now - start
+        return self
+
+    def release(self) -> None:
+        """Release the resource, granting it to the oldest waiter.
+
+        Ownership is handed off directly (the resource never appears free
+        in between), so late arrivals cannot barge past queued waiters.
+        """
+        if not self._busy:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            self._busy = False
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    * :attr:`now` — current model time (float; the framework's convention
+      is nanoseconds).
+    * :attr:`activations` — total process resumptions so far; the
+      simulation-cost metric of experiment E3.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.activations = 0
+        self._queue: List[Tuple[float, int, Process, Any, int]] = []
+        self._seq = 0
+        self._procs: List[Process] = []
+
+    # ------------------------------------------------------------------
+    # construction API
+    # ------------------------------------------------------------------
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process, starting at the current time."""
+        if not name:
+            name = f"proc{len(self._procs)}"
+        proc = Process(self, gen, name)
+        self._procs.append(proc)
+        self._schedule(0.0, proc, None, proc._token)
+        return proc
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh (unfired) event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a timeout waitable (sugar for ``Timeout(delay, value)``)."""
+        return Timeout(delay, value)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _schedule(
+        self, delay: float, proc: Process, value: Any, token: int
+    ) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self.now + delay, self._seq, proc, value, token)
+        )
+
+    def step(self) -> bool:
+        """Run one scheduled resumption.  Returns False when idle."""
+        while self._queue:
+            time, _seq, proc, value, token = heapq.heappop(self._queue)
+            if not proc.alive or token != proc._token:
+                continue
+            if time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = time
+            proc._resume(value, token)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or model time reaches ``until``.
+
+        Returns the final model time.
+        """
+        while self._queue:
+            time = self._queue[0][0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            if not self.step():
+                break
+        return self.now
+
+    @property
+    def processes(self) -> List[Process]:
+        """All processes ever registered."""
+        return list(self._procs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now}, pending={len(self._queue)}, "
+            f"activations={self.activations})"
+        )

@@ -1,0 +1,171 @@
+"""Signals, clocks, and tracing for hardware-level modeling.
+
+A :class:`Signal` is a piecewise-constant value with a *change
+notification* event, the basic modeling element of the pin-level
+interface (Figure 3's "signal activity" rung).  A :class:`Clock` is a
+self-toggling signal.  A :class:`Trace` records value changes in a
+VCD-like in-memory form for assertions and waveform dumps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.cosim.kernel import Event, Simulator
+
+
+class Signal:
+    """A named, piecewise-constant signal.
+
+    ``set`` changes the value at the current simulation time and fires the
+    (re-armed) ``changed`` event.  Processes typically wait with::
+
+        yield sig.changed          # any change
+        value = yield sig.changed  # the new value is delivered
+
+    or use the helper generators :meth:`wait_for` / :meth:`rising_edge`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        init: int = 0,
+        trace: Optional["Trace"] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._value = init
+        self._changed = Event(sim, f"{name}.changed")
+        self.trace = trace
+        if trace is not None:
+            trace.record(sim.now, name, init)
+
+    @property
+    def value(self) -> int:
+        """Current value."""
+        return self._value
+
+    @property
+    def changed(self) -> Event:
+        """Event that fires on the next value change."""
+        return self._changed
+
+    def set(self, value: int) -> None:
+        """Drive a new value; fires ``changed`` if the value differs."""
+        if value == self._value:
+            return
+        self._value = value
+        if self.trace is not None:
+            self.trace.record(self.sim.now, self.name, value)
+        old_event = self._changed
+        self._changed = Event(self.sim, f"{self.name}.changed")
+        old_event.succeed(value)
+
+    def wait_for(self, value: int) -> Generator:
+        """Generator: wait (possibly across many changes) until the signal
+        equals ``value``.  Returns immediately if it already does."""
+        while self._value != value:
+            yield self._changed
+        return self._value
+
+    def rising_edge(self) -> Generator:
+        """Generator: wait for a transition to a non-zero value."""
+        while True:
+            new = yield self._changed
+            if new:
+                return new
+
+    def falling_edge(self) -> Generator:
+        """Generator: wait for a transition to zero."""
+        while True:
+            new = yield self._changed
+            if not new:
+                return new
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}={self._value})"
+
+
+class Clock(Signal):
+    """A free-running two-phase clock signal.
+
+    ``period`` is the full cycle time; the clock is high for the first
+    half and low for the second.  The driving process is registered on
+    construction and runs until ``until`` (or forever if None — callers
+    should then stop the simulation with ``run(until=...)``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "clk",
+        period: float = 10.0,
+        until: Optional[float] = None,
+        trace: Optional["Trace"] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("clock period must be positive")
+        super().__init__(sim, name, init=0, trace=trace)
+        self.period = period
+        self.cycles = 0
+        sim.process(self._drive(until), name=f"{name}.driver")
+
+    def _drive(self, until: Optional[float]) -> Generator:
+        half = self.period / 2.0
+        while until is None or self.sim.now < until:
+            self.set(1)
+            self.cycles += 1
+            yield self.sim.timeout(half)
+            self.set(0)
+            yield self.sim.timeout(half)
+
+
+class Trace:
+    """An in-memory waveform: (time, signal-name, value) triples.
+
+    Provides just enough query power for tests and benchmarks: slicing by
+    signal, edge counting, and value-at-time reconstruction.
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[float, str, Any]] = []
+
+    def record(self, time: float, name: str, value: Any) -> None:
+        """Append one change record."""
+        self.entries.append((time, name, value))
+
+    def changes(self, name: str) -> List[Tuple[float, Any]]:
+        """All (time, value) changes of one signal, in time order."""
+        return [(t, v) for t, n, v in self.entries if n == name]
+
+    def value_at(self, name: str, time: float) -> Any:
+        """The signal's value at ``time`` (last change at or before it)."""
+        result = None
+        for t, v in self.changes(name):
+            if t > time:
+                break
+            result = v
+        return result
+
+    def edge_count(self, name: str) -> int:
+        """Number of recorded changes of a signal (excluding the initial
+        value record)."""
+        return max(0, len(self.changes(name)) - 1)
+
+    def signals(self) -> List[str]:
+        """All signal names seen, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for _t, n, _v in self.entries:
+            seen.setdefault(n)
+        return list(seen)
+
+    def dump_vcd_like(self) -> str:
+        """A human-readable waveform dump (not strict VCD, but stable)."""
+        lines = [f"$trace {len(self.entries)} changes$"]
+        for t, n, v in self.entries:
+            lines.append(f"#{t:.3f} {n} = {v}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

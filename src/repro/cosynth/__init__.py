@@ -1,0 +1,37 @@
+"""Hardware/software co-synthesis flows (Sections 3.2, 4.2, 4.5, 4.5.1).
+
+* :mod:`repro.cosynth.multiproc` — heterogeneous multiprocessor
+  synthesis (Figure 5): choose processor instances and map tasks to meet
+  a deadline at minimum cost, by exact ILP (SOS [12]), vector bin
+  packing (Beck [13]), or sensitivity-driven iteration (Yen–Wolf [9]).
+* :mod:`repro.cosynth.coprocessor` — application-specific co-processor
+  synthesis (Figure 8, Gupta–De Micheli [6]): partition behaviors
+  between the instruction-set processor and a synthesized co-processor,
+  then run HLS on the hardware side.
+* :mod:`repro.cosynth.multithread` — multi-threaded co-processor
+  synthesis (Figure 9, Adams–Thomas [10]): cluster processes to localize
+  communication, choose the controller count, and partition with
+  concurrency awareness.
+"""
+
+from repro.cosynth.multiproc.library import Allocation, PeInstance
+from repro.cosynth.multiproc.scheduler import MultiprocSchedule, schedule_on
+from repro.cosynth.multiproc.ilp import ilp_synthesis
+from repro.cosynth.multiproc.binpack import binpack_synthesis
+from repro.cosynth.multiproc.sensitivity import sensitivity_synthesis
+from repro.cosynth.coprocessor import CoprocessorDesign, synthesize_coprocessor
+from repro.cosynth.multithread import MultithreadDesign, synthesize_multithreaded
+
+__all__ = [
+    "Allocation",
+    "PeInstance",
+    "MultiprocSchedule",
+    "schedule_on",
+    "ilp_synthesis",
+    "binpack_synthesis",
+    "sensitivity_synthesis",
+    "CoprocessorDesign",
+    "synthesize_coprocessor",
+    "MultithreadDesign",
+    "synthesize_multithreaded",
+]

@@ -1,0 +1,15 @@
+"""Heterogeneous multiprocessor co-synthesis (Figure 5 of the paper).
+
+"The design involves both choosing the number and type of processing
+elements and mapping tasks onto processing elements.  The goal is to
+meet some performance objective while minimizing the cost of the
+hardware."  Three synthesizers share the same problem form and the same
+validating scheduler:
+
+* :func:`repro.cosynth.multiproc.ilp.ilp_synthesis` — exact, via 0/1 ILP
+  (branch-and-bound over LP relaxations), as in SOS [12];
+* :func:`repro.cosynth.multiproc.binpack.binpack_synthesis` — fast
+  first-fit-decreasing vector bin packing, as in Beck [13];
+* :func:`repro.cosynth.multiproc.sensitivity.sensitivity_synthesis` —
+  Yen–Wolf sensitivity-driven iterative improvement [9].
+"""

@@ -1,0 +1,135 @@
+"""Heuristic multiprocessor synthesis by vector bin packing (Beck [13]).
+
+"In [13] the processing elements are specified abstractly by their
+processing capacity.  Optimization, which also involves choosing the
+number and type of processing elements and mapping the tasks onto them,
+is done using a vector bin packing approach."
+
+Items are tasks; each bin is a processor instance with a two-dimensional
+capacity vector (compute time within the deadline, program memory).
+First-fit decreasing over the time dimension; when no open bin fits, a
+new bin is opened with the cheapest type that can hold the item.  The
+result is validated with the real list scheduler, shrinking the packing
+capacity if precedence stretches the makespan past the deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.estimate.communication import CommModel, DEFAULT
+from repro.estimate.software import Processor, default_processor_library
+from repro.graph.taskgraph import TaskGraph
+from repro.cosynth.multiproc.ilp import SynthesisResult
+from repro.cosynth.multiproc.library import (
+    Allocation,
+    PeInstance,
+    execution_time,
+)
+from repro.cosynth.multiproc.scheduler import schedule_on
+
+
+@dataclass
+class _Bin:
+    pe: PeInstance
+    time_left: float
+    mem_left: float
+    tasks: List[str] = field(default_factory=list)
+
+
+def binpack_synthesis(
+    graph: TaskGraph,
+    deadline: float,
+    library: Optional[Dict[str, Processor]] = None,
+    comm: CommModel = DEFAULT,
+    shrink_steps: int = 3,
+    capacity_shrink: float = 0.8,
+) -> Optional[SynthesisResult]:
+    """First-fit-decreasing vector bin packing; None if infeasible.
+
+    Bin packing reasons about utilization, but the deadline may be bound
+    by the *critical path* instead — no amount of cheap-slow processors
+    helps then.  So the search escalates: first the full library at full
+    capacity, then tightened packing capacities (spreading load), then
+    with the slowest types dropped (forcing faster, costlier parts).
+    The first allocation whose real (HEFT) schedule meets the deadline
+    wins.
+    """
+    library = library or default_processor_library()
+    by_speed = sorted(
+        library.values(), key=lambda p: (p.speed_factor / p.clock_ns, p.name)
+    )
+    evaluations = 0
+    for drop in range(len(by_speed)):
+        usable = {p.name: p for p in by_speed[drop:]}
+        capacity_factor = 1.0
+        for _step in range(shrink_steps):
+            packed = _pack(graph, deadline * capacity_factor, usable)
+            capacity_factor *= capacity_shrink
+            if packed is None:
+                continue
+            allocation, mapping = packed
+            pinned = schedule_on(graph, allocation, comm, mapping=mapping)
+            free = schedule_on(graph, allocation, comm)
+            evaluations += 2
+            best = free if free.makespan < pinned.makespan else pinned
+            if best.meets(deadline):
+                return SynthesisResult(
+                    allocation=allocation,
+                    schedule=best,
+                    deadline=deadline,
+                    algorithm="binpack",
+                    evaluations=evaluations,
+                )
+    return None
+
+
+def _pack(
+    graph: TaskGraph,
+    capacity: float,
+    library: Dict[str, Processor],
+) -> Optional[Tuple[Allocation, Dict[str, str]]]:
+    # FFD: big items first (by reference software time)
+    order = sorted(
+        graph.task_names,
+        key=lambda n: (-graph.task(n).sw_time, n),
+    )
+    types_by_cost = sorted(library.values(), key=lambda p: (p.cost, p.name))
+    bins: List[_Bin] = []
+    counters: Dict[str, int] = {}
+    mapping: Dict[str, str] = {}
+
+    for name in order:
+        task = graph.task(name)
+        placed = False
+        for bin_ in bins:
+            need_t = execution_time(task, bin_.pe.processor)
+            if need_t <= bin_.time_left and task.sw_size <= bin_.mem_left:
+                bin_.time_left -= need_t
+                bin_.mem_left -= task.sw_size
+                bin_.tasks.append(name)
+                mapping[name] = bin_.pe.name
+                placed = True
+                break
+        if placed:
+            continue
+        # open the cheapest bin type that can hold this task alone
+        for proc in types_by_cost:
+            need_t = execution_time(task, proc)
+            if need_t <= capacity and task.sw_size <= proc.mem_words:
+                idx = counters.get(proc.name, 0)
+                counters[proc.name] = idx + 1
+                pe = PeInstance(f"{proc.name}#{idx}", proc)
+                bins.append(_Bin(
+                    pe=pe,
+                    time_left=capacity - need_t,
+                    mem_left=proc.mem_words - task.sw_size,
+                    tasks=[name],
+                ))
+                mapping[name] = pe.name
+                placed = True
+                break
+        if not placed:
+            return None  # no processor can run this task in time
+    return Allocation([b.pe for b in bins]), mapping

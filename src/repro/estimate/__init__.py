@@ -1,0 +1,35 @@
+"""Estimation: the numbers that drive every co-design decision.
+
+Section 3.2: co-synthesis "requires an understanding of how the overall
+system cost and performance are affected by the hardware and software
+organizations".  This package provides that understanding as three
+estimators:
+
+* :mod:`repro.estimate.hardware` — pre-synthesis hardware area/latency
+  estimates from operation mixes, plus exact numbers via actual HLS;
+* :mod:`repro.estimate.incremental` — Vahid–Gajski incremental hardware
+  estimation [18]: maintains the area of the current hardware partition
+  under functional-unit *sharing* and updates it in O(changed types) per
+  partition move instead of re-estimating from scratch;
+* :mod:`repro.estimate.software` — static software time/size estimates
+  per processor characterization, cross-validated against the R32
+  simulator;
+* :mod:`repro.estimate.communication` — boundary-crossing transfer and
+  synchronization costs (the "communication" partitioning factor).
+"""
+
+from repro.estimate.hardware import HardwareEstimate, estimate_cdfg_hardware
+from repro.estimate.incremental import IncrementalEstimator, requirements_from_task
+from repro.estimate.software import Processor, SoftwareEstimate, estimate_cdfg_software
+from repro.estimate.communication import CommModel
+
+__all__ = [
+    "HardwareEstimate",
+    "estimate_cdfg_hardware",
+    "IncrementalEstimator",
+    "requirements_from_task",
+    "Processor",
+    "SoftwareEstimate",
+    "estimate_cdfg_software",
+    "CommModel",
+]

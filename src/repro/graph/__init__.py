@@ -1,0 +1,20 @@
+"""Graph substrate: task graphs, CDFGs, algorithms, generators, kernels.
+
+The graph package is the shared intermediate representation of the whole
+framework.  Two granularities are provided, matching the paper's two views
+of a specification:
+
+* :class:`repro.graph.taskgraph.TaskGraph` — coarse-grain *tasks* (the
+  processes of Figure 1) connected by data edges; consumed by the
+  partitioners (:mod:`repro.partition`) and the multiprocessor
+  co-synthesizers (:mod:`repro.cosynth.multiproc`).
+* :class:`repro.graph.cdfg.CDFG` — fine-grain *operations* inside a single
+  behavior; consumed by high-level synthesis (:mod:`repro.hls`), the code
+  generator (:mod:`repro.isa.codegen`), and the ASIP tools
+  (:mod:`repro.asip`).
+"""
+
+from repro.graph.taskgraph import Task, TaskGraph
+from repro.graph.cdfg import CDFG, Op, OpKind
+
+__all__ = ["Task", "TaskGraph", "CDFG", "Op", "OpKind"]

@@ -1,0 +1,38 @@
+"""High-level (behavioral) synthesis: the hardware implementation path.
+
+Section 2 of the paper: in a Type II system "the hardware, which is
+specified by a behavioral description, can be modeled at roughly the same
+level of abstraction as the software" when "designed using behavioral
+synthesis techniques".  This package is that behavioral synthesis:
+
+* :mod:`repro.hls.library` — the RTL component library (functional units
+  with area/delay characterizations, registers, multiplexers);
+* :mod:`repro.hls.scheduling` — ASAP/ALAP, resource-constrained list
+  scheduling, and force-directed scheduling;
+* :mod:`repro.hls.binding` — functional-unit binding and left-edge
+  register allocation;
+* :mod:`repro.hls.datapath` — the structural datapath netlist;
+* :mod:`repro.hls.controller` — FSM controller generation;
+* :mod:`repro.hls.synthesize` — the top-level flow producing an
+  :class:`repro.hls.synthesize.HlsResult` with area, latency, and a
+  cycle-by-cycle simulator for co-verification against the CDFG and the
+  generated software.
+"""
+
+from repro.hls.library import Component, ComponentLibrary, default_library
+from repro.hls.scheduling import Schedule, asap, alap, list_schedule, force_directed
+from repro.hls.synthesize import HlsConstraints, HlsResult, synthesize
+
+__all__ = [
+    "Component",
+    "ComponentLibrary",
+    "default_library",
+    "Schedule",
+    "asap",
+    "alap",
+    "list_schedule",
+    "force_directed",
+    "HlsConstraints",
+    "HlsResult",
+    "synthesize",
+]

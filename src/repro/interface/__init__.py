@@ -1,0 +1,42 @@
+"""Chinook-style interface synthesis (Figure 4, Section 4.1).
+
+Chou, Ortega & Borriello's Chinook system [11] "performs hardware/
+software co-synthesis of the I/O drivers and interface logic ... uses a
+common specification for the hardware and software components, but does
+no hardware/software partitioning.  Instead, Chinook concentrates on
+co-simulation and interface synthesis."
+
+This package reproduces that scope:
+
+* :mod:`repro.interface.spec` — device specifications (registers,
+  interrupts, timing) shared by both sides;
+* :mod:`repro.interface.regmap` — register-map allocation (device base
+  addresses, symbol table);
+* :mod:`repro.interface.glue` — glue-logic generation: address decoder,
+  interrupt combiner, wait-state insertion, with gate-count estimates;
+* :mod:`repro.interface.driver` — software driver generation: R32
+  assembly access routines and an interrupt dispatch skeleton, assembled
+  and validated by execution;
+* :mod:`repro.interface.chinook` — the flow tying them together, with a
+  deploy step that mounts everything on the co-simulation backplane so
+  the generated drivers run against the generated glue.
+"""
+
+from repro.interface.spec import DeviceSpec, RegisterSpec
+from repro.interface.regmap import RegisterMap, allocate_register_map
+from repro.interface.glue import GlueLogic, build_glue
+from repro.interface.driver import DriverCode, generate_driver
+from repro.interface.chinook import InterfaceDesign, synthesize_interface
+
+__all__ = [
+    "DeviceSpec",
+    "RegisterSpec",
+    "RegisterMap",
+    "allocate_register_map",
+    "GlueLogic",
+    "build_glue",
+    "DriverCode",
+    "generate_driver",
+    "InterfaceDesign",
+    "synthesize_interface",
+]

@@ -1,0 +1,415 @@
+"""A cycle-counting functional model of the R32 processor.
+
+The model executes one instruction per :meth:`Cpu.step` and reports the
+cycles it consumed.  Two features make it a *co-simulation* CPU rather
+than just an interpreter:
+
+* **External (memory-mapped) regions.**  A load or store that hits a
+  region registered as *external* does not complete synchronously;
+  ``step`` returns an :class:`ExternalAccess` describing the request and
+  the CPU freezes mid-instruction until :meth:`Cpu.complete_access` is
+  called.  The co-simulation backplane (:mod:`repro.cosim.backplane`)
+  services the request through whichever interface abstraction is mounted
+  — pin-level handshake, bus transaction, register access, or message —
+  and charges the elapsed model time.  This is how "actions in one domain
+  affect the state of the other" (Section 3.1).
+
+* **Interrupts.**  Devices call :meth:`Cpu.raise_irq`; the CPU vectors to
+  ``ivec`` at the next instruction boundary, saving the return address in
+  ``epc``; ``reti`` returns and re-enables interrupts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.isa.instructions import (
+    Instruction,
+    Isa,
+    MASK32,
+    N_REGS,
+    Opcode,
+)
+
+
+class CpuError(RuntimeError):
+    """Raised for illegal instructions or execution faults."""
+
+
+def _signed(x: int) -> int:
+    x &= MASK32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+@dataclass
+class ExternalAccess:
+    """A pending memory-mapped access awaiting the backplane.
+
+    ``value`` is the word being written (stores) and is 0 for loads.
+    """
+
+    addr: int
+    value: int
+    is_write: bool
+
+
+@dataclass
+class _Region:
+    name: str
+    base: int
+    size: int
+    read_fn: Optional[Callable[[int], int]]
+    write_fn: Optional[Callable[[int, int], None]]
+    external: bool
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+
+class Memory:
+    """Sparse word-addressed memory with device regions.
+
+    Plain addresses are backed by a dict (unwritten words read as zero).
+    Regions may carry synchronous read/write handlers (cheap device
+    models) or be marked *external*, deferring the access to the
+    co-simulation backplane.
+    """
+
+    def __init__(self) -> None:
+        self.ram: Dict[int, int] = {}
+        self._regions: List[_Region] = []
+        self.loads = 0
+        self.stores = 0
+
+    def add_region(
+        self,
+        name: str,
+        base: int,
+        size: int,
+        read_fn: Optional[Callable[[int], int]] = None,
+        write_fn: Optional[Callable[[int, int], None]] = None,
+        external: bool = False,
+    ) -> None:
+        """Map a device region at [base, base+size) word addresses."""
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        for region in self._regions:
+            if region.base < base + size and base < region.base + region.size:
+                raise ValueError(
+                    f"region {name!r} overlaps {region.name!r}"
+                )
+        self._regions.append(
+            _Region(name, base, size, read_fn, write_fn, external)
+        )
+
+    def region_at(self, addr: int) -> Optional[_Region]:
+        """The region containing ``addr``, or None for plain RAM."""
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def load_image(self, image: Dict[int, int]) -> None:
+        """Copy an assembled program image into RAM."""
+        self.ram.update(image)
+
+    def read(self, addr: int) -> int:
+        """Read one word (may raise :class:`_Defer` for external regions)."""
+        addr &= MASK32
+        self.loads += 1
+        region = self.region_at(addr)
+        if region is None:
+            return self.ram.get(addr, 0)
+        if region.external:
+            raise _Defer(ExternalAccess(addr, 0, False))
+        if region.read_fn is None:
+            raise CpuError(f"region {region.name!r} is not readable")
+        return region.read_fn(addr - region.base) & MASK32
+
+    def write(self, addr: int, value: int) -> None:
+        """Write one word (may raise :class:`_Defer` for external regions)."""
+        addr &= MASK32
+        value &= MASK32
+        self.stores += 1
+        region = self.region_at(addr)
+        if region is None:
+            self.ram[addr] = value
+            return
+        if region.external:
+            raise _Defer(ExternalAccess(addr, value, True))
+        if region.write_fn is None:
+            raise CpuError(f"region {region.name!r} is not writable")
+        region.write_fn(addr - region.base, value)
+
+
+class _Defer(Exception):
+    """Internal: carries an :class:`ExternalAccess` out of Memory."""
+
+    def __init__(self, access: ExternalAccess) -> None:
+        super().__init__(access)
+        self.access = access
+
+
+IRQ_ENTRY_CYCLES = 4
+
+
+class Cpu:
+    """The R32 processor model.
+
+    Typical pure-software use::
+
+        cpu = Cpu(isa, memory)
+        memory.load_image(program.image)
+        cpu.run()
+        print(cpu.cycle_count)
+
+    Co-simulation use alternates ``step()`` / ``complete_access()`` under
+    the backplane's control.
+    """
+
+    def __init__(
+        self,
+        isa: Isa,
+        memory: Optional[Memory] = None,
+        pc: int = 0,
+        ivec: int = 0x40,
+    ) -> None:
+        self.isa = isa
+        self.memory = memory if memory is not None else Memory()
+        self.regs: List[int] = [0] * N_REGS
+        self.pc = pc
+        self.ivec = ivec
+        self.epc = 0
+        self.halted = False
+        self.irq_pending = False
+        self.irq_enabled = True
+        self.cycle_count = 0
+        self.instr_count = 0
+        self.irq_count = 0
+        self._pending: Optional[Tuple[int, Instruction, ExternalAccess]] = None
+        #: observers called as fn(pc, instr) after each retired instruction
+        self.observers: List[Callable[[int, Instruction], None]] = []
+
+    # ------------------------------------------------------------------
+    # register access helpers (r0 is hardwired to zero)
+    # ------------------------------------------------------------------
+    def get_reg(self, index: int) -> int:
+        """Read a register (r0 reads as zero)."""
+        return 0 if index == 0 else self.regs[index]
+
+    def set_reg(self, index: int, value: int) -> None:
+        """Write a register (writes to r0 are discarded)."""
+        if index != 0:
+            self.regs[index] = value & MASK32
+
+    # ------------------------------------------------------------------
+    # interrupts
+    # ------------------------------------------------------------------
+    def raise_irq(self) -> None:
+        """Assert the (single) interrupt request line."""
+        self.irq_pending = True
+
+    def _take_irq(self) -> int:
+        self.irq_pending = False
+        self.irq_enabled = False
+        self.epc = self.pc
+        self.pc = self.ivec
+        self.irq_count += 1
+        return IRQ_ENTRY_CYCLES
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> Union[int, ExternalAccess]:
+        """Execute one instruction.
+
+        Returns the cycles consumed, or an :class:`ExternalAccess` if the
+        instruction touched an external region (the CPU is then frozen
+        until :meth:`complete_access`).
+        """
+        if self.halted:
+            return 0
+        if self._pending is not None:
+            raise CpuError("step() while an external access is pending")
+        if self.irq_pending and self.irq_enabled:
+            return self._take_irq()
+        word = self.memory.ram.get(self.pc)
+        if word is None:
+            raise CpuError(f"fetch from unprogrammed address {self.pc:#x}")
+        try:
+            instr = self.isa.decode(word)
+        except ValueError as exc:
+            raise CpuError(f"pc={self.pc:#x}: {exc}") from None
+        pc_before = self.pc
+        try:
+            cycles = self._execute(instr)
+        except _Defer as defer:
+            self._pending = (pc_before, instr, defer.access)
+            return defer.access
+        self._retire(pc_before, instr, cycles)
+        return cycles
+
+    def complete_access(
+        self, read_value: int = 0, extra_cycles: int = 0
+    ) -> int:
+        """Finish a deferred external access.
+
+        ``read_value`` is the word returned by the device for loads.
+        ``extra_cycles`` lets the backplane charge bus stall cycles into
+        the CPU's cycle counter.  Returns total cycles for the
+        instruction.
+        """
+        if self._pending is None:
+            raise CpuError("no external access pending")
+        pc_before, instr, access = self._pending
+        self._pending = None
+        if not access.is_write:
+            self.set_reg(instr.rd, read_value)
+        self.pc = pc_before + 1  # loads/stores never branch
+        cycles = self.isa.cycles_of(instr.opcode) + extra_cycles
+        self._retire(pc_before, instr, cycles)
+        return cycles
+
+    @property
+    def pending_access(self) -> Optional[ExternalAccess]:
+        """The in-flight external access, if any."""
+        return self._pending[2] if self._pending else None
+
+    def _retire(self, pc: int, instr: Instruction, cycles: int) -> None:
+        self.instr_count += 1
+        self.cycle_count += cycles
+        for observer in self.observers:
+            observer(pc, instr)
+
+    def run(
+        self, max_instructions: int = 1_000_000
+    ) -> int:
+        """Run until ``halt`` (pure-software mode; external accesses are a
+        :class:`CpuError` here).  Returns cycles consumed."""
+        start_cycles = self.cycle_count
+        executed = 0
+        while not self.halted:
+            if executed >= max_instructions:
+                raise CpuError(
+                    f"instruction budget {max_instructions} exhausted "
+                    f"at pc={self.pc:#x}"
+                )
+            result = self.step()
+            if isinstance(result, ExternalAccess):
+                raise CpuError(
+                    f"external access at {result.addr:#x} outside "
+                    "co-simulation; mount the region synchronously or "
+                    "run under a backplane"
+                )
+            executed += 1
+        return self.cycle_count - start_cycles
+
+    # ------------------------------------------------------------------
+    def _execute(self, instr: Instruction) -> int:
+        op = instr.opcode
+        cycles = self.isa.cycles_of(op)
+        next_pc = self.pc + 1
+        a = self.get_reg(instr.rs1)
+        b = self.get_reg(instr.rs2)
+
+        custom = self.isa.custom(op)
+        if custom is not None:
+            self.set_reg(instr.rd, custom.semantics(a, b) & MASK32)
+        elif op == Opcode.ADD:
+            self.set_reg(instr.rd, a + b)
+        elif op == Opcode.SUB:
+            self.set_reg(instr.rd, a - b)
+        elif op == Opcode.MUL:
+            self.set_reg(instr.rd, a * b)
+        elif op == Opcode.DIV:
+            self.set_reg(instr.rd, self._div(a, b))
+        elif op == Opcode.MOD:
+            self.set_reg(instr.rd, self._mod(a, b))
+        elif op == Opcode.AND:
+            self.set_reg(instr.rd, a & b)
+        elif op == Opcode.OR:
+            self.set_reg(instr.rd, a | b)
+        elif op == Opcode.XOR:
+            self.set_reg(instr.rd, a ^ b)
+        elif op == Opcode.SLL:
+            self.set_reg(instr.rd, a << (b & 31))
+        elif op == Opcode.SRL:
+            self.set_reg(instr.rd, (a & MASK32) >> (b & 31))
+        elif op == Opcode.SRA:
+            self.set_reg(instr.rd, _signed(a) >> (b & 31))
+        elif op == Opcode.SLT:
+            self.set_reg(instr.rd, int(_signed(a) < _signed(b)))
+        elif op == Opcode.SLTU:
+            self.set_reg(instr.rd, int((a & MASK32) < (b & MASK32)))
+        elif op == Opcode.ADDI:
+            self.set_reg(instr.rd, a + instr.imm)
+        elif op == Opcode.ANDI:
+            self.set_reg(instr.rd, a & (instr.imm & 0xFFFF))
+        elif op == Opcode.ORI:
+            self.set_reg(instr.rd, a | (instr.imm & 0xFFFF))
+        elif op == Opcode.XORI:
+            self.set_reg(instr.rd, a ^ (instr.imm & 0xFFFF))
+        elif op == Opcode.SLLI:
+            self.set_reg(instr.rd, a << (instr.imm & 31))
+        elif op == Opcode.SRLI:
+            self.set_reg(instr.rd, (a & MASK32) >> (instr.imm & 31))
+        elif op == Opcode.SLTI:
+            self.set_reg(instr.rd, int(_signed(a) < instr.imm))
+        elif op == Opcode.LUI:
+            self.set_reg(instr.rd, (instr.imm & 0xFFFF) << 16)
+        elif op == Opcode.LW:
+            self.set_reg(instr.rd, self.memory.read(a + instr.imm))
+        elif op == Opcode.SW:
+            self.memory.write(a + instr.imm, self.get_reg(instr.rd))
+        elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+            lhs = self.get_reg(instr.rd)
+            taken = {
+                Opcode.BEQ: lhs == a,
+                Opcode.BNE: lhs != a,
+                Opcode.BLT: _signed(lhs) < _signed(a),
+                Opcode.BGE: _signed(lhs) >= _signed(a),
+            }[Opcode(op)]
+            if taken:
+                next_pc = self.pc + 1 + instr.imm
+                cycles += 1  # taken-branch penalty
+        elif op == Opcode.J:
+            next_pc = instr.imm
+        elif op == Opcode.JAL:
+            self.set_reg(15, self.pc + 1)
+            next_pc = instr.imm
+        elif op == Opcode.JR:
+            next_pc = a
+        elif op == Opcode.RETI:
+            next_pc = self.epc
+            self.irq_enabled = True
+        elif op == Opcode.HALT:
+            self.halted = True
+            next_pc = self.pc
+        else:  # pragma: no cover - decode guarantees known opcodes
+            raise CpuError(f"unimplemented opcode {op:#x}")
+
+        self.pc = next_pc
+        return cycles
+
+    @staticmethod
+    def _div(a: int, b: int) -> int:
+        sa, sb = _signed(a), _signed(b)
+        if sb == 0:
+            raise CpuError("division by zero")
+        q = abs(sa) // abs(sb)
+        return q if (sa >= 0) == (sb >= 0) else -q
+
+    @staticmethod
+    def _mod(a: int, b: int) -> int:
+        sa, sb = _signed(a), _signed(b)
+        if sb == 0:
+            raise CpuError("modulo by zero")
+        r = abs(sa) % abs(sb)
+        return r if sa >= 0 else -r
+
+    def __repr__(self) -> str:
+        return (
+            f"Cpu(pc={self.pc:#x}, cycles={self.cycle_count}, "
+            f"instrs={self.instr_count}, halted={self.halted})"
+        )

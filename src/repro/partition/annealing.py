@@ -1,0 +1,71 @@
+"""Simulated-annealing partitioning.
+
+Random single-task flips under a geometric cooling schedule.  Slower
+than greedy/KL but explores the space more broadly; the benchmarks use
+it as the quality reference on small instances.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import FrozenSet, Iterable, Optional
+
+from repro.partition.cost import CostWeights, partition_cost
+from repro.partition.problem import PartitionProblem, PartitionResult
+
+
+def simulated_annealing(
+    problem: PartitionProblem,
+    weights: CostWeights = CostWeights(),
+    rng: Optional[random.Random] = None,
+    seed_hw: Iterable[str] = (),
+    initial_temperature: Optional[float] = None,
+    cooling: float = 0.95,
+    steps_per_temperature: int = 20,
+    final_temperature_ratio: float = 1e-3,
+) -> PartitionResult:
+    """Run simulated annealing from ``seed_hw``.
+
+    The initial temperature defaults to the cost of the seed partition
+    (so early uphill moves of a few percent are freely accepted), and the
+    schedule cools geometrically until
+    ``initial * final_temperature_ratio``.
+    """
+    rng = rng or random.Random(0)
+    names = problem.graph.task_names
+    hw = frozenset(seed_hw)
+    cost, breakdown, evaluation = partition_cost(problem, hw, weights)
+    best = (cost, hw, breakdown, evaluation)
+    moves = 0
+
+    temperature = (
+        initial_temperature if initial_temperature is not None
+        else max(abs(cost), 1.0) * 0.1
+    )
+    floor = temperature * final_temperature_ratio
+    while temperature > floor:
+        for _ in range(steps_per_temperature):
+            name = rng.choice(names)
+            candidate = hw - {name} if name in hw else hw | {name}
+            cand_cost, cand_break, cand_eval = partition_cost(
+                problem, candidate, weights
+            )
+            moves += 1
+            delta = cand_cost - cost
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                hw, cost = candidate, cand_cost
+                breakdown, evaluation = cand_break, cand_eval
+                if cost < best[0]:
+                    best = (cost, hw, breakdown, evaluation)
+        temperature *= cooling
+    cost, hw, breakdown, evaluation = best
+    return PartitionResult(
+        problem=problem,
+        hw_tasks=hw,
+        evaluation=evaluation,
+        cost=cost,
+        breakdown=breakdown,
+        algorithm="annealing",
+        moves_evaluated=moves,
+    )

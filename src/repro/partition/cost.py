@@ -1,0 +1,143 @@
+"""The six-factor partitioning cost function.
+
+Section 3.3 enumerates the considerations a partitioner may weigh; this
+module makes each an explicit, individually-weighted (and individually
+*ablatable*) term:
+
+1. **Performance requirements** — latency, with a large penalty when the
+   deadline is missed ("functions that have a great impact on the
+   overall performance ... may need to be implemented in hardware").
+2. **Implementation cost** — hardware area (sharing-aware), plus a large
+   penalty for exceeding the area budget.
+3. **Modifiability** — putting likely-to-change functions in hardware is
+   penalized ("sometimes a software implementation is desired so that
+   the function or algorithm can be easily changed").
+4. **Nature of computation** — mismatch penalty: highly parallel
+   computations in software, and strictly serial ones in hardware,
+   both waste their medium.
+5. **Concurrency** — reward realized hardware/software overlap
+   (Type II systems: "the best system performance may be achieved by
+   exploiting concurrency").
+6. **Communication** — the boundary-crossing transfer time ("favors
+   partitions that localize communication").
+
+The evaluation-derived terms (1, 5, 6) come from the schedule in
+:mod:`repro.partition.evaluate`; the structural terms (2, 3, 4) come
+from the task characterizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from repro.partition.evaluate import Evaluation, evaluate_partition
+from repro.partition.problem import PartitionProblem
+
+#: Penalty multiplier applied to constraint violations (deadline, area).
+VIOLATION_PENALTY = 10.0
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Per-factor weights.  Setting one to 0 ablates that factor."""
+
+    performance: float = 1.0
+    implementation_cost: float = 0.05
+    modifiability: float = 20.0
+    nature: float = 0.3
+    concurrency: float = 0.5
+    communication: float = 1.0
+
+    def ablate(self, factor: str) -> "CostWeights":
+        """A copy with one factor zeroed (for experiment E11)."""
+        if not hasattr(self, factor):
+            raise AttributeError(f"unknown factor {factor!r}")
+        return replace(self, **{factor: 0.0})
+
+    @classmethod
+    def factors(cls) -> Tuple[str, ...]:
+        """The six factor names, in the paper's order."""
+        return (
+            "performance",
+            "implementation_cost",
+            "modifiability",
+            "nature",
+            "concurrency",
+            "communication",
+        )
+
+
+def cost_terms(
+    problem: PartitionProblem,
+    evaluation: Evaluation,
+    hw_tasks: Iterable[str],
+) -> Dict[str, float]:
+    """The raw (unweighted) value of each factor term."""
+    graph = problem.graph
+    hw = set(hw_tasks)
+
+    # 1. performance: latency, heavily penalized beyond the deadline
+    latency = evaluation.latency_ns
+    performance = latency
+    if problem.deadline_ns is not None and latency > problem.deadline_ns:
+        performance += VIOLATION_PENALTY * (latency - problem.deadline_ns)
+
+    # 2. implementation cost: area, heavily penalized beyond the budget
+    area_term = evaluation.hw_area
+    if (problem.hw_area_budget is not None
+            and evaluation.hw_area > problem.hw_area_budget):
+        area_term += VIOLATION_PENALTY * (
+            evaluation.hw_area - problem.hw_area_budget
+        )
+
+    # 3. modifiability: likely-to-change functionality frozen in silicon
+    modifiability = sum(graph.task(n).modifiability for n in hw)
+
+    # 4. nature of computation: medium mismatch
+    nature = 0.0
+    for name in graph.task_names:
+        task = graph.task(name)
+        if name in hw:
+            # serial computations gain little in hardware
+            if task.parallelism < 2.0:
+                nature += task.sw_time * (2.0 - task.parallelism)
+        else:
+            # parallel computations squandered on a serial processor
+            nature += task.sw_time * max(0.0, task.parallelism - 2.0) / 2.0
+
+    # 5. concurrency: reward realized overlap (negative term)
+    concurrency = -evaluation.overlap_fraction * latency
+
+    # 6. communication: boundary-crossing time
+    communication = evaluation.comm_ns
+
+    return {
+        "performance": performance,
+        "implementation_cost": area_term,
+        "modifiability": modifiability,
+        "nature": nature,
+        "concurrency": concurrency,
+        "communication": communication,
+    }
+
+
+def partition_cost(
+    problem: PartitionProblem,
+    hw_tasks: Iterable[str],
+    weights: CostWeights = CostWeights(),
+    evaluation: Evaluation = None,
+) -> Tuple[float, Dict[str, float], Evaluation]:
+    """Scalar cost of a partition plus the weighted per-factor breakdown.
+
+    Returns ``(cost, breakdown, evaluation)``; pass a pre-computed
+    ``evaluation`` to avoid re-scheduling.
+    """
+    hw = frozenset(hw_tasks)
+    if evaluation is None:
+        evaluation = evaluate_partition(problem, hw)
+    raw = cost_terms(problem, evaluation, hw)
+    breakdown = {
+        name: getattr(weights, name) * value for name, value in raw.items()
+    }
+    return sum(breakdown.values()), breakdown, evaluation

@@ -1,0 +1,50 @@
+"""Greedy best-improvement partitioning.
+
+Starts from a seed (all-software by default) and repeatedly applies the
+single task move (SW→HW or HW→SW) that most improves the six-factor
+cost, until no move improves it.  Simple, fast, and the baseline every
+other algorithm is compared against.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.partition.cost import CostWeights, partition_cost
+from repro.partition.problem import PartitionProblem, PartitionResult
+
+
+def greedy_partition(
+    problem: PartitionProblem,
+    weights: CostWeights = CostWeights(),
+    seed_hw: Iterable[str] = (),
+    max_iterations: int = 1000,
+) -> PartitionResult:
+    """Run greedy best-improvement migration."""
+    hw = frozenset(seed_hw)
+    cost, breakdown, evaluation = partition_cost(problem, hw, weights)
+    moves = 0
+    for _ in range(max_iterations):
+        best: Optional[tuple] = None
+        for name in problem.graph.task_names:
+            candidate = hw - {name} if name in hw else hw | {name}
+            cand_cost, cand_break, cand_eval = partition_cost(
+                problem, candidate, weights
+            )
+            moves += 1
+            if cand_cost < cost - 1e-9:
+                key = (cand_cost, name)
+                if best is None or key < best[:2]:
+                    best = (cand_cost, name, candidate, cand_break, cand_eval)
+        if best is None:
+            break
+        cost, _name, hw, breakdown, evaluation = best
+    return PartitionResult(
+        problem=problem,
+        hw_tasks=hw,
+        evaluation=evaluation,
+        cost=cost,
+        breakdown=breakdown,
+        algorithm="greedy",
+        moves_evaluated=moves,
+    )

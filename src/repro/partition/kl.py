@@ -1,0 +1,66 @@
+"""Kernighan–Lin-style partitioning with move locking.
+
+Each pass tentatively moves every task exactly once (always taking the
+currently best move, *even if it worsens the cost*), records the running
+cost after each tentative move, then rewinds to the best prefix.  The
+hill-climbing-with-lookahead structure lets KL escape local minima that
+trap pure greedy migration.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.partition.cost import CostWeights, partition_cost
+from repro.partition.problem import PartitionProblem, PartitionResult
+
+
+def kernighan_lin(
+    problem: PartitionProblem,
+    weights: CostWeights = CostWeights(),
+    seed_hw: Iterable[str] = (),
+    max_passes: int = 10,
+) -> PartitionResult:
+    """Run KL-style passes until a full pass yields no improvement."""
+    hw = frozenset(seed_hw)
+    cost, breakdown, evaluation = partition_cost(problem, hw, weights)
+    moves = 0
+
+    for _pass in range(max_passes):
+        locked: set = set()
+        trail: List[Tuple[float, FrozenSet[str]]] = [(cost, hw)]
+        current = hw
+        while len(locked) < len(problem.graph):
+            best: Optional[tuple] = None
+            for name in problem.graph.task_names:
+                if name in locked:
+                    continue
+                candidate = (
+                    current - {name} if name in current else current | {name}
+                )
+                cand_cost, _b, _e = partition_cost(
+                    problem, candidate, weights
+                )
+                moves += 1
+                key = (cand_cost, name)
+                if best is None or key < best[:2]:
+                    best = (cand_cost, name, candidate)
+            cand_cost, name, current = best
+            locked.add(name)
+            trail.append((cand_cost, current))
+        best_cost, best_hw = min(trail, key=lambda t: t[0])
+        if best_cost < cost - 1e-9:
+            cost, hw = best_cost, best_hw
+        else:
+            break
+
+    cost, breakdown, evaluation = partition_cost(problem, hw, weights)
+    return PartitionResult(
+        problem=problem,
+        hw_tasks=hw,
+        evaluation=evaluation,
+        cost=cost,
+        breakdown=breakdown,
+        algorithm="kernighan-lin",
+        moves_evaluated=moves,
+    )

@@ -1,0 +1,75 @@
+"""Hardware-first partition extraction (Gupta & De Micheli style).
+
+Reference [6] of the paper: start from an all-hardware implementation
+(which trivially meets performance) and move functionality to software
+on the instruction-set processor as long as the performance constraint
+still holds — "the goal of hardware/software partitioning in this case
+is to minimize the implementation cost without decreasing performance
+relative to a purely hardware implementation."
+
+Move order is by *cost-effectiveness of extraction*: tasks whose
+hardware is expensive but whose software slowdown and communication
+impact are small leave hardware first.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.partition.cost import CostWeights, partition_cost
+from repro.partition.evaluate import evaluate_partition
+from repro.partition.problem import PartitionProblem, PartitionResult
+
+
+def vulcan_partition(
+    problem: PartitionProblem,
+    weights: CostWeights = CostWeights(),
+    slack_factor: float = 1.0,
+) -> PartitionResult:
+    """Run hardware-first extraction.
+
+    The performance constraint is ``problem.deadline_ns`` if set,
+    otherwise ``slack_factor`` x the all-hardware latency (``1.0`` means
+    "no slower than all-hardware", the strictest reading of [6]; values
+    above 1 permit bounded degradation).
+    """
+    graph = problem.graph
+    hw = frozenset(graph.task_names)
+    base = evaluate_partition(problem, hw)
+    deadline = (
+        problem.deadline_ns if problem.deadline_ns is not None
+        else base.latency_ns * slack_factor
+    )
+    moves = 0
+
+    improved = True
+    while improved and hw:
+        improved = False
+        # rank candidates by hardware area saved per software time added
+        candidates = sorted(
+            hw,
+            key=lambda n: (
+                -graph.task(n).hw_area
+                / max(graph.task(n).sw_time - graph.task(n).hw_time, 1e-9),
+                n,
+            ),
+        )
+        for name in candidates:
+            candidate = hw - {name}
+            evaluation = evaluate_partition(problem, candidate)
+            moves += 1
+            if evaluation.latency_ns <= deadline:
+                hw = candidate
+                improved = True
+                break
+
+    cost, breakdown, evaluation = partition_cost(problem, hw, weights)
+    return PartitionResult(
+        problem=problem,
+        hw_tasks=hw,
+        evaluation=evaluation,
+        cost=cost,
+        breakdown=breakdown,
+        algorithm="vulcan",
+        moves_evaluated=moves,
+    )

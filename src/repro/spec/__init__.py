@@ -1,0 +1,30 @@
+"""Communicating-process system specifications.
+
+Section 2: a mixed system is specified as cooperating *processes*
+(Figure 1) before any of them is committed to hardware or software.
+This package provides that front end:
+
+* :mod:`repro.spec.behavior` — the statement forms a process body may
+  contain (compute, send, receive, wait, loop);
+* :mod:`repro.spec.process` — processes, typed channels, and the
+  :class:`repro.spec.process.SystemSpec` container, which is
+  **executable** (Gajski et al.'s executable-specification refinement
+  [16]): :meth:`repro.spec.process.SystemSpec.execute` runs the spec on
+  the discrete-event kernel for early functional validation, and
+  :meth:`repro.spec.process.SystemSpec.to_task_graph` derives the task
+  graph the partitioners and co-synthesizers consume.
+"""
+
+from repro.spec.behavior import Compute, Loop, Receive, Send, Wait
+from repro.spec.process import ChannelSpec, ProcessSpec, SystemSpec
+
+__all__ = [
+    "Compute",
+    "Send",
+    "Receive",
+    "Wait",
+    "Loop",
+    "ProcessSpec",
+    "ChannelSpec",
+    "SystemSpec",
+]

@@ -1,0 +1,75 @@
+"""Statement forms for process behaviors.
+
+A process body is a sequence of statements; the vocabulary matches the
+communication primitives the paper's co-simulation references use
+(send, receive, wait [3]) plus abstract computation and iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Consume processor/datapath time.
+
+    ``duration_ns`` is the reference (software) execution time;
+    ``hw_speedup`` how much faster dedicated hardware runs it;
+    ``parallelism`` the nature-of-computation annotation.
+    """
+
+    duration_ns: float
+    label: str = "compute"
+    hw_speedup: float = 4.0
+    parallelism: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_ns < 0:
+            raise ValueError("duration_ns must be >= 0")
+        if self.hw_speedup <= 0:
+            raise ValueError("hw_speedup must be positive")
+
+
+@dataclass(frozen=True)
+class Send:
+    """Send one message of ``words`` words on a named channel."""
+
+    channel: str
+    words: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise ValueError("words must be positive")
+
+
+@dataclass(frozen=True)
+class Receive:
+    """Receive one message from a named channel (blocking)."""
+
+    channel: str
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block until a message is available, without consuming it."""
+
+    channel: str
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Repeat a body a fixed number of times."""
+
+    count: int
+    body: Tuple["Statement", ...]
+
+    def __init__(self, count: int, body):
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        object.__setattr__(self, "count", count)
+        object.__setattr__(self, "body", tuple(body))
+
+
+Statement = Union[Compute, Send, Receive, Wait, Loop]

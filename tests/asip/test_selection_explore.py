@@ -1,0 +1,129 @@
+"""Tests for instruction selection, exploration, and metamorphosis."""
+
+import pytest
+
+from repro.asip.custom import mine_candidates
+from repro.asip.explore import explore_asip
+from repro.asip.metamorphosis import best_static_plan, plan_metamorphosis
+from repro.asip.selection import select_instructions, selection_frontier
+from repro.graph import kernels
+from repro.graph.cdfg import CDFG
+
+COEFFS = [3, -5, 7, 2, 9, -1, 4, 6]
+
+WORKLOADS = {
+    "crc": (kernels.crc_step(), 10.0),
+    "fir": (kernels.fir(8, coefficients=COEFFS), 5.0),
+    "ewf": (kernels.elliptic_wave_filter(constant_coefficients=True), 3.0),
+}
+WEIGHTS = {name: w for name, (_g, w) in WORKLOADS.items()}
+
+
+class TestSelection:
+    def test_zero_budget_selects_nothing(self):
+        cands = mine_candidates(WORKLOADS)
+        assert select_instructions(cands, 0.0) == []
+
+    def test_budget_respected(self):
+        cands = mine_candidates(WORKLOADS)
+        for budget in (60.0, 250.0, 700.0):
+            chosen = select_instructions(cands, budget)
+            assert sum(c.area for c in chosen) <= budget + 1e-9
+
+    def test_selection_is_optimal_small_case(self):
+        """Cross-check the knapsack against brute force."""
+        import itertools
+
+        cands = mine_candidates(WORKLOADS)[:6]
+        budget = 400.0
+        best_brute = 0.0
+        for r in range(len(cands) + 1):
+            for combo in itertools.combinations(cands, r):
+                if sum(c.area for c in combo) <= budget:
+                    best_brute = max(
+                        best_brute, sum(c.value for c in combo)
+                    )
+        chosen = select_instructions(cands, budget)
+        assert sum(c.value for c in chosen) == pytest.approx(best_brute)
+
+    def test_frontier_value_monotone(self):
+        cands = mine_candidates(WORKLOADS)
+        frontier = selection_frontier(cands, [0, 100, 300, 900, 2000])
+        values = [v for _b, _c, v in frontier]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_instructions([], -1.0)
+        with pytest.raises(ValueError):
+            select_instructions([], 10.0, resolution=0.0)
+
+
+class TestExplore:
+    def test_frontier_speedup_monotone_and_verified(self):
+        points = explore_asip(WORKLOADS, [0, 120, 400, 1200])
+        speedups = [p.speedup(WEIGHTS) for p in points]
+        assert speedups[0] == pytest.approx(1.0)
+        for a, b in zip(speedups, speedups[1:]):
+            assert b >= a - 1e-9
+        assert speedups[-1] > 1.2
+
+    def test_custom_area_tracks_budget(self):
+        points = explore_asip(WORKLOADS, [0, 400])
+        assert points[0].custom_area == 0.0
+        assert 0 < points[1].custom_area <= 400.0
+
+    def test_code_size_shrinks_with_fusion(self):
+        points = explore_asip(WORKLOADS, [0, 1200])
+        assert points[1].code_words["fir"] < points[0].code_words["fir"]
+
+
+class TestMetamorphosis:
+    def phases(self):
+        return {
+            "filter": {"fir": (kernels.fir(8, coefficients=COEFFS), 8.0)},
+            "check": {"crc": (kernels.crc_step(), 8.0)},
+        }
+
+    def test_reconfigurable_beats_static_on_compute(self):
+        """Per-phase instruction sets always compute at least as fast as
+        one compromise set of the same fabric area."""
+        fabric = 300.0
+        morph = plan_metamorphosis(self.phases(), fabric)
+        static = best_static_plan(self.phases(), fabric)
+        assert morph.compute_cycles <= static.compute_cycles + 1e-9
+
+    def test_reconfiguration_cost_can_flip_the_decision(self):
+        """Figure 7's trade-off: for short phases the reconfiguration
+        overhead dominates; amortized over long phases it vanishes.
+        The fabric is sized so one phase's best instruction does not
+        leave room for the other's — the static set must compromise."""
+        fabric = 250.0
+        short_morph = plan_metamorphosis(
+            self.phases(), fabric, reconfig_cycles=100_000,
+            iterations_per_phase=1,
+        )
+        short_static = best_static_plan(
+            self.phases(), fabric, iterations_per_phase=1
+        )
+        assert short_morph.total_cycles > short_static.total_cycles
+
+        long_morph = plan_metamorphosis(
+            self.phases(), fabric, reconfig_cycles=100_000,
+            iterations_per_phase=10_000,
+        )
+        long_static = best_static_plan(
+            self.phases(), fabric, iterations_per_phase=10_000
+        )
+        assert long_morph.total_cycles < long_static.total_cycles
+
+    def test_static_plan_has_no_reconfigurations(self):
+        static = best_static_plan(self.phases(), 300.0)
+        assert static.reconfigurations == 0
+        assert static.static
+
+    def test_single_phase_needs_no_reconfiguration(self):
+        one = plan_metamorphosis(
+            {"only": {"crc": (kernels.crc_step(), 1.0)}}, 300.0
+        )
+        assert one.reconfigurations == 0

@@ -1,0 +1,171 @@
+"""Tests for the criteria engine and the paper-example registry."""
+
+import pytest
+
+from repro.core.criteria import (
+    Characterization,
+    CriteriaError,
+    Methodology,
+    MethodologyRegistry,
+    characterize,
+    comparison_table,
+)
+from repro.core.examples import paper_examples, paper_registry
+from repro.core.taxonomy import (
+    DesignTask,
+    InterfaceLevel,
+    PartitionFactor,
+    SystemType,
+    classify_system,
+)
+
+
+def minimal(name="m", **kwargs):
+    defaults = dict(
+        system_type=SystemType.TYPE_II,
+        tasks=frozenset({DesignTask.COSIMULATION}),
+        cosim_levels=frozenset({InterfaceLevel.MESSAGE}),
+    )
+    defaults.update(kwargs)
+    return Methodology(name=name, **defaults)
+
+
+class TestCharacterize:
+    def test_task_closure_applied(self):
+        m = minimal(tasks={DesignTask.PARTITIONING}, cosim_levels=frozenset(),
+                    partition_factors={PartitionFactor.PERFORMANCE})
+        c = characterize(m)
+        assert DesignTask.COSYNTHESIS in c.tasks
+        assert DesignTask.CODESIGN in c.tasks
+
+    def test_cosim_levels_require_cosimulation(self):
+        m = minimal(tasks={DesignTask.COSYNTHESIS},
+                    cosim_levels={InterfaceLevel.SIGNAL})
+        with pytest.raises(CriteriaError):
+            characterize(m)
+
+    def test_partition_factors_require_partitioning(self):
+        m = minimal(tasks={DesignTask.COSIMULATION},
+                    partition_factors={PartitionFactor.COST})
+        with pytest.raises(CriteriaError):
+            characterize(m)
+
+    def test_type_i_rejects_physical_factors(self):
+        """Concurrency/communication only arise from physical
+        partitioning (Section 3.3)."""
+        m = minimal(
+            system_type=SystemType.TYPE_I,
+            tasks={DesignTask.PARTITIONING},
+            cosim_levels=frozenset(),
+            partition_factors={PartitionFactor.CONCURRENCY},
+        )
+        with pytest.raises(CriteriaError):
+            characterize(m)
+
+    def test_type_ii_accepts_physical_factors(self):
+        m = minimal(
+            tasks={DesignTask.PARTITIONING},
+            cosim_levels=frozenset(),
+            partition_factors={PartitionFactor.CONCURRENCY,
+                               PartitionFactor.COMMUNICATION},
+        )
+        c = characterize(m)
+        assert PartitionFactor.CONCURRENCY in c.partition_factors
+
+
+class TestRegistry:
+    def test_register_validates(self):
+        registry = MethodologyRegistry()
+        with pytest.raises(CriteriaError):
+            registry.register(minimal(
+                tasks={DesignTask.COSYNTHESIS},
+                cosim_levels={InterfaceLevel.SIGNAL},
+            ))
+        assert len(registry) == 0
+
+    def test_duplicate_rejected(self):
+        registry = MethodologyRegistry()
+        registry.register(minimal("a"))
+        with pytest.raises(CriteriaError):
+            registry.register(minimal("a"))
+
+    def test_inhabitants_by_task(self):
+        registry = paper_registry()
+        # Figure 2: every activity subset is inhabited
+        for task in DesignTask:
+            assert registry.inhabitants(task), task
+
+
+class TestPaperExamples:
+    def test_six_examples(self):
+        assert len(paper_examples()) == 6
+
+    def test_classifier_rederives_paper_types(self):
+        """E1: structural classification matches the paper's assertion
+        for every Section 4 example."""
+        for name, ex in paper_examples().items():
+            derived = classify_system(ex.system_model)
+            assert derived.system_type is ex.methodology.system_type, name
+
+    def test_paper_type_split(self):
+        examples = paper_examples()
+        types = {
+            name: ex.methodology.system_type
+            for name, ex in examples.items()
+        }
+        assert types["embedded_micro"] is SystemType.TYPE_I
+        assert types["asip"] is SystemType.TYPE_I
+        assert types["coprocessor"] is SystemType.TYPE_II
+        assert types["multithreaded_coprocessor"] is SystemType.TYPE_II
+
+    def test_multithread_factors_all_but_modifiability(self):
+        """[10] 'considers all the factors outlined in Section 3.3
+        except for modifiability'."""
+        ex = paper_examples()["multithreaded_coprocessor"]
+        factors = ex.methodology.partition_factors
+        assert PartitionFactor.MODIFIABILITY not in factors
+        assert len(factors) == 5
+
+    def test_chinook_does_no_partitioning(self):
+        """[11] 'The Chinook system ... does no hardware/software
+        partitioning.'"""
+        ex = paper_examples()["embedded_micro"]
+        c = characterize(ex.methodology)
+        assert not c.addresses(DesignTask.PARTITIONING)
+        assert c.addresses(DesignTask.COSIMULATION)
+
+    def test_multiproc_synthesis_without_partitioning(self):
+        """Section 4.2: 'an instance of hardware/software co-synthesis
+        but not of hardware/software partitioning.'"""
+        c = characterize(
+            paper_examples()["heterogeneous_multiproc"].methodology
+        )
+        assert c.addresses(DesignTask.COSYNTHESIS)
+        assert not c.addresses(DesignTask.PARTITIONING)
+
+    def test_every_example_names_its_implementation(self):
+        for name, ex in paper_examples().items():
+            assert ex.methodology.implemented_by.startswith("repro."), name
+
+    @pytest.mark.parametrize("name", sorted(paper_examples()))
+    def test_demos_run(self, name):
+        """The registry is executable: every example's demo builds and
+        validates a working instance on this library."""
+        ex = paper_examples()[name]
+        assert ex.methodology.demo is not None
+        result = ex.methodology.demo()
+        assert result is not None
+
+
+class TestComparisonTable:
+    def test_table_contains_all_rows(self):
+        table = comparison_table(paper_registry().all())
+        for ex in paper_examples().values():
+            assert ex.methodology.name in table
+
+    def test_table_encodes_criteria(self):
+        table = comparison_table(paper_registry().all())
+        assert "II" in table
+        assert "sim+syn+part" in table
+        assert "message" in table
+        assert "modifiability" in table

@@ -1,0 +1,88 @@
+"""Tests for the end-to-end co-design flow and its validation cosim."""
+
+import pytest
+
+from repro.core.flow import CodesignFlow, simulate_partition
+from repro.estimate.communication import TIGHT, CommModel
+from repro.graph.kernels import jpeg_encoder_taskgraph, modem_taskgraph
+from repro.graph.taskgraph import Task, TaskGraph
+from repro.partition.problem import PartitionProblem
+
+NO_COMM = CommModel(sync_overhead_ns=0.0, word_time_ns=0.0)
+
+
+class TestSimulatePartition:
+    def test_all_software_latency_is_serial_sum(self):
+        g = modem_taskgraph()
+        problem = PartitionProblem(g, comm=NO_COMM)
+        simulated = simulate_partition(problem, frozenset())
+        assert simulated.latency_ns == pytest.approx(g.total_time("sw"))
+        assert simulated.messages == 0
+
+    def test_boundary_edges_become_messages(self):
+        g = TaskGraph()
+        g.add_task(Task("a", sw_time=5.0, hw_time=1.0))
+        g.add_task(Task("b", sw_time=5.0, hw_time=1.0))
+        g.add_edge("a", "b", 8.0)
+        comm = CommModel(sync_overhead_ns=10.0, word_time_ns=1.0)
+        problem = PartitionProblem(g, comm=comm)
+        simulated = simulate_partition(problem, frozenset({"b"}))
+        assert simulated.messages == 1
+        assert simulated.latency_ns == pytest.approx(5.0 + 18.0 + 1.0)
+
+    def test_hw_parallelism_respected_in_simulation(self):
+        g = TaskGraph()
+        for n in "abc":
+            g.add_task(Task(n, sw_time=10.0, hw_time=4.0))
+        serial = PartitionProblem(g, comm=NO_COMM, hw_parallelism=1)
+        parallel = PartitionProblem(g, comm=NO_COMM, hw_parallelism=3)
+        s = simulate_partition(serial, frozenset("abc"))
+        p = simulate_partition(parallel, frozenset("abc"))
+        assert s.latency_ns == pytest.approx(12.0)
+        assert p.latency_ns == pytest.approx(4.0)
+
+    def test_simulation_agrees_with_analytic_evaluation(self):
+        """The independent DES must land close to the list-schedule
+        evaluator on realistic partitions (they share the cost model but
+        not the scheduling code)."""
+        from repro.partition.evaluate import evaluate_partition
+
+        g = modem_taskgraph()
+        problem = PartitionProblem(g, comm=TIGHT, hw_parallelism=2)
+        for hw in (frozenset(), frozenset({"equalizer", "demod_i"}),
+                   frozenset(g.task_names)):
+            analytic = evaluate_partition(problem, hw)
+            simulated = simulate_partition(problem, hw)
+            ratio = analytic.latency_ns / simulated.latency_ns
+            assert 0.75 <= ratio <= 1.25, (hw, ratio)
+
+
+class TestCodesignFlow:
+    def test_flow_end_to_end(self):
+        flow = CodesignFlow(
+            modem_taskgraph(), deadline_ns=90.0, hw_area_budget=600.0
+        )
+        report = flow.run()
+        assert report.partition.evaluation.deadline_met
+        assert report.simulated_latency_ns > 0
+        assert 0.7 <= report.agreement <= 1.3
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            CodesignFlow(modem_taskgraph(), algorithm="magic")
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "kl", "vulcan",
+                                           "cosyma", "annealing"])
+    def test_all_algorithms_pluggable(self, algorithm):
+        flow = CodesignFlow(
+            jpeg_encoder_taskgraph(), deadline_ns=100.0,
+            algorithm=algorithm,
+        )
+        report = flow.run()
+        assert report.simulated_latency_ns > 0
+
+    def test_summary_reports_both_latencies(self):
+        report = CodesignFlow(modem_taskgraph()).run()
+        text = report.summary()
+        assert "co-simulation" in text
+        assert "agreement" in text

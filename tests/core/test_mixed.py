@@ -1,0 +1,66 @@
+"""Tests for the Mixed Type I/Type II system (the paper's open case)."""
+
+import pytest
+
+from repro.core.mixed import (
+    FIR_COEFFS,
+    N_TAPS,
+    build_and_run_mixed_system,
+    coprocessor_device_spec,
+    mixed_system_model,
+)
+from repro.core.taxonomy import SystemType, classify_system
+
+
+class TestStructure:
+    def test_model_classifies_as_mixed(self):
+        result = classify_system(mixed_system_model())
+        assert result.system_type is SystemType.MIXED
+        assert "executes" in result.rationale
+        assert "peers" in result.rationale
+
+    def test_device_spec_shape(self):
+        spec = coprocessor_device_spec(4)
+        assert spec.has_interrupt
+        names = [r.name for r in spec.registers]
+        assert names == ["arg0", "arg1", "arg2", "arg3", "cmd", "result"]
+        assert not spec.register("result").access.writable
+        assert not spec.register("cmd").access.readable
+
+
+class TestEndToEnd:
+    def test_default_run_matches_reference(self):
+        result = build_and_run_mixed_system()
+        assert result.functionally_correct
+        assert result.classification.system_type is SystemType.MIXED
+
+    def test_result_travels_through_both_boundaries(self):
+        """The value the UART saw crossed the Type II boundary (copro ->
+        registers) and the Type I boundary (driver -> software)."""
+        samples = [1, 2, 3, 4]
+        expected = sum(c * x for c, x in zip(FIR_COEFFS, samples))
+        result = build_and_run_mixed_system(samples)
+        assert result.outputs["y"] == expected & 0xFFFFFFFF
+        assert result.uart_bytes == [expected & 0xFFFFFFFF]
+
+    def test_coprocessor_latency_is_the_synthesized_latency(self):
+        result = build_and_run_mixed_system()
+        assert result.hls.latency_ns > 0
+        # the co-simulation must take at least the datapath latency
+        assert result.simulated_ns >= result.hls.latency_ns
+
+    def test_wrong_sample_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_and_run_mixed_system([1, 2])
+
+    def test_deterministic(self):
+        a = build_and_run_mixed_system()
+        b = build_and_run_mixed_system()
+        assert a.outputs == b.outputs
+        assert a.simulated_ns == b.simulated_ns
+
+    def test_summary_text(self):
+        result = build_and_run_mixed_system()
+        text = result.summary()
+        assert "Mixed" in text
+        assert "matches" in text

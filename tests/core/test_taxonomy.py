@@ -1,0 +1,169 @@
+"""Tests for the Type I / Type II taxonomy and vocabulary."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    Abstraction,
+    ComponentModel,
+    DesignTask,
+    Domain,
+    InterfaceLevel,
+    PartitionFactor,
+    SystemModel,
+    SystemType,
+    classify_system,
+)
+
+
+def comp(name, domain, level):
+    return ComponentModel(name, domain, level)
+
+
+HW, SW = Domain.HARDWARE, Domain.SOFTWARE
+
+
+class TestClassification:
+    def test_type_i_from_executes_relationship(self):
+        model = SystemModel(
+            components=[
+                comp("cpu", HW, Abstraction.GATE),
+                comp("app", SW, Abstraction.HLL),
+            ],
+            executes=[("cpu", "app")],
+        )
+        result = classify_system(model)
+        assert result.system_type is SystemType.TYPE_I
+        assert "executes" in result.rationale
+
+    def test_type_ii_from_peer_communication(self):
+        model = SystemModel(
+            components=[
+                comp("sw_behavior", SW, Abstraction.BEHAVIOR),
+                comp("coproc", HW, Abstraction.BEHAVIOR),
+            ],
+            communicates=[("sw_behavior", "coproc")],
+        )
+        assert classify_system(model).system_type is SystemType.TYPE_II
+
+    def test_mixed_when_both_boundaries_present(self):
+        model = SystemModel(
+            components=[
+                comp("cpu", HW, Abstraction.GATE),
+                comp("app", SW, Abstraction.BEHAVIOR),
+                comp("coproc", HW, Abstraction.BEHAVIOR),
+            ],
+            executes=[("cpu", "app")],
+            communicates=[("app", "coproc")],
+        )
+        assert classify_system(model).system_type is SystemType.MIXED
+
+    def test_wide_abstraction_gap_is_not_type_ii(self):
+        """Software at HLL talking to gate-level glue is not a peer
+        boundary — that link carries no Type II evidence."""
+        model = SystemModel(
+            components=[
+                comp("cpu", HW, Abstraction.GATE),
+                comp("glue", HW, Abstraction.GATE),
+                comp("app", SW, Abstraction.HLL),
+            ],
+            executes=[("cpu", "app")],
+            communicates=[("glue", "app")],
+        )
+        assert classify_system(model).system_type is SystemType.TYPE_I
+
+    def test_same_domain_links_ignored(self):
+        model = SystemModel(
+            components=[
+                comp("cpu", HW, Abstraction.GATE),
+                comp("glue", HW, Abstraction.GATE),
+                comp("app", SW, Abstraction.HLL),
+            ],
+            executes=[("cpu", "app")],
+            communicates=[("cpu", "glue")],
+        )
+        assert classify_system(model).system_type is SystemType.TYPE_I
+
+    def test_no_boundary_rejected(self):
+        model = SystemModel(
+            components=[comp("a", HW, Abstraction.GATE),
+                        comp("b", HW, Abstraction.GATE)],
+            communicates=[("a", "b")],
+        )
+        with pytest.raises(ValueError):
+            classify_system(model)
+
+    def test_executes_direction_validated(self):
+        model = SystemModel(
+            components=[comp("app", SW, Abstraction.HLL),
+                        comp("cpu", HW, Abstraction.GATE)],
+            executes=[("app", "cpu")],  # wrong way round
+        )
+        with pytest.raises(ValueError):
+            classify_system(model)
+
+    def test_executes_must_cross_abstraction(self):
+        model = SystemModel(
+            components=[comp("cpu", HW, Abstraction.BEHAVIOR),
+                        comp("app", SW, Abstraction.BEHAVIOR)],
+            executes=[("cpu", "app")],
+        )
+        with pytest.raises(ValueError):
+            classify_system(model)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError):
+            SystemModel(
+                components=[comp("a", HW, Abstraction.GATE)],
+                executes=[("a", "ghost")],
+            )
+
+    def test_duplicate_components_rejected(self):
+        with pytest.raises(ValueError):
+            SystemModel(components=[
+                comp("a", HW, Abstraction.GATE),
+                comp("a", SW, Abstraction.HLL),
+            ])
+
+
+class TestDesignTaskContainment:
+    def test_partitioning_implies_cosynthesis_and_codesign(self):
+        implied = DesignTask.PARTITIONING.implies()
+        assert implied == {
+            DesignTask.PARTITIONING,
+            DesignTask.COSYNTHESIS,
+            DesignTask.CODESIGN,
+        }
+
+    def test_cosimulation_implies_codesign_only(self):
+        assert DesignTask.COSIMULATION.implies() == {
+            DesignTask.COSIMULATION, DesignTask.CODESIGN,
+        }
+
+    def test_codesign_is_the_root(self):
+        assert DesignTask.CODESIGN.parent is None
+        assert DesignTask.CODESIGN.implies() == {DesignTask.CODESIGN}
+
+
+class TestInterfaceLevels:
+    def test_ladder_ordering(self):
+        assert InterfaceLevel.SIGNAL < InterfaceLevel.REGISTER \
+            < InterfaceLevel.BUS_TRANSACTION < InterfaceLevel.MESSAGE
+
+    def test_performance_accuracy_guidance(self):
+        assert InterfaceLevel.SIGNAL.accurate_for_performance
+        assert not InterfaceLevel.MESSAGE.accurate_for_performance
+
+    def test_descriptions_match_figure_3(self):
+        assert "pins" in InterfaceLevel.SIGNAL.description
+        assert "interrupts" in InterfaceLevel.REGISTER.description
+        assert "send" in InterfaceLevel.MESSAGE.description
+
+
+class TestPartitionFactors:
+    def test_six_factors(self):
+        assert len(PartitionFactor) == 6
+
+    def test_type_ii_specific_factors(self):
+        assert PartitionFactor.CONCURRENCY.type_ii_specific
+        assert PartitionFactor.COMMUNICATION.type_ii_specific
+        assert not PartitionFactor.MODIFIABILITY.type_ii_specific

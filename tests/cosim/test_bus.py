@@ -1,0 +1,159 @@
+"""Tests for the transaction-level system bus."""
+
+import pytest
+
+from repro.cosim.bus import SystemBus
+from repro.cosim.kernel import SimulationError, Simulator
+
+
+def make_ram(size=64):
+    store = [0] * size
+
+    def handler(offset, value, is_write):
+        if is_write:
+            store[offset] = value
+            return 0
+        return store[offset]
+
+    return store, handler
+
+
+class TestAddressDecode:
+    def test_attach_and_decode(self):
+        sim = Simulator()
+        bus = SystemBus(sim)
+        _store, ram = make_ram()
+        bus.attach_slave("ram", 0x100, 64, ram)
+        assert bus.decode(0x100).name == "ram"
+        assert bus.decode(0x13F).name == "ram"
+        with pytest.raises(SimulationError):
+            bus.decode(0x140)
+
+    def test_overlapping_slaves_rejected(self):
+        sim = Simulator()
+        bus = SystemBus(sim)
+        _s, ram = make_ram()
+        bus.attach_slave("a", 0x0, 16, ram)
+        with pytest.raises(ValueError):
+            bus.attach_slave("b", 0x8, 16, ram)
+
+    def test_zero_size_rejected(self):
+        sim = Simulator()
+        bus = SystemBus(sim)
+        _s, ram = make_ram()
+        with pytest.raises(ValueError):
+            bus.attach_slave("a", 0, 0, ram)
+
+    def test_burst_crossing_window_rejected(self):
+        sim = Simulator()
+        bus = SystemBus(sim)
+        _s, ram = make_ram(8)
+        bus.attach_slave("ram", 0, 8, ram)
+
+        def proc():
+            yield from bus.write(6, [1, 2, 3])
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestTransfers:
+    def test_write_then_read_roundtrip(self):
+        sim = Simulator()
+        bus = SystemBus(sim)
+        store, ram = make_ram()
+        bus.attach_slave("ram", 0, 64, ram)
+        got = []
+
+        def proc():
+            yield from bus.write(4, [11, 22, 33])
+            data = yield from bus.read(4, 3)
+            got.append(data)
+
+        sim.process(proc())
+        sim.run()
+        assert got == [[11, 22, 33]]
+        assert store[4:7] == [11, 22, 33]
+
+    def test_transfer_timing(self):
+        sim = Simulator()
+        bus = SystemBus(sim, arbitration_time=1.0, setup_time=2.0,
+                        word_time=3.0)
+        _s, ram = make_ram()
+        bus.attach_slave("ram", 0, 64, ram)
+
+        def proc():
+            yield from bus.write(0, [1, 2])  # 1 + 2 + 2*3 = 9
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.result == pytest.approx(9.0)
+
+    def test_wait_states_slow_transfer(self):
+        sim = Simulator()
+        bus = SystemBus(sim, arbitration_time=0.0, setup_time=0.0,
+                        word_time=2.0)
+        _s, ram = make_ram()
+        bus.attach_slave("slow", 0, 64, ram, extra_cycles=3)
+
+        def proc():
+            yield from bus.read(0, 1)
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.result == pytest.approx(2.0 * 4)
+
+    def test_zero_length_transfer_rejected(self):
+        sim = Simulator()
+        bus = SystemBus(sim)
+        _s, ram = make_ram()
+        bus.attach_slave("ram", 0, 64, ram)
+
+        def proc():
+            yield from bus.write(0, [])
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestContention:
+    def test_masters_serialize_on_the_bus(self):
+        sim = Simulator()
+        bus = SystemBus(sim, arbitration_time=1.0, setup_time=1.0,
+                        word_time=2.0)
+        _s, ram = make_ram()
+        bus.attach_slave("ram", 0, 64, ram)
+        finish = {}
+
+        def master(tag, addr):
+            yield from bus.write(addr, [1] * 4)  # 1+1+8 = 10 each
+            finish[tag] = sim.now
+
+        sim.process(master("m0", 0))
+        sim.process(master("m1", 8))
+        sim.run()
+        assert finish["m0"] == pytest.approx(10.0)
+        assert finish["m1"] == pytest.approx(20.0)
+
+    def test_stats_accumulate(self):
+        sim = Simulator()
+        bus = SystemBus(sim, arbitration_time=1.0, setup_time=1.0,
+                        word_time=2.0)
+        _s, ram = make_ram()
+        bus.attach_slave("ram", 0, 64, ram)
+
+        def master(addr):
+            yield from bus.write(addr, [1, 2])
+
+        sim.process(master(0))
+        sim.process(master(8))
+        sim.run()
+        assert bus.stats.transfers == 2
+        assert bus.stats.words == 4
+        assert bus.stats.busy_time == pytest.approx(12.0)
+        assert bus.stats.wait_time == pytest.approx(6.0)
+        assert bus.stats.utilization(sim.now) == pytest.approx(1.0)

@@ -1,0 +1,364 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.cosim.kernel import (
+    AnyOf,
+    Event,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestTimeouts:
+    def test_single_timeout_advances_time(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [5.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_timeout_delivers_value(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            v = yield Timeout(1.0, "hello")
+            got.append(v)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["hello"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(tag):
+            yield sim.timeout(3.0)
+            log.append(tag)
+
+        for tag in "abc":
+            sim.process(proc(tag))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(100.0)
+
+        sim.process(proc())
+        final = sim.run(until=10.0)
+        assert final == 10.0
+        # the pending timeout still fires on a later run
+        sim.run()
+        assert sim.now == 100.0
+
+
+class TestEvents:
+    def test_event_wakes_all_waiters_with_value(self):
+        sim = Simulator()
+        ev = sim.event("go")
+        got = []
+
+        def waiter(tag):
+            v = yield ev
+            got.append((tag, v, sim.now))
+
+        def firer():
+            yield sim.timeout(7.0)
+            ev.succeed(42)
+
+        sim.process(waiter("w1"))
+        sim.process(waiter("w2"))
+        sim.process(firer())
+        sim.run()
+        assert got == [("w1", 42, 7.0), ("w2", 42, 7.0)]
+
+    def test_waiting_on_triggered_event_returns_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("past")
+        got = []
+
+        def waiter():
+            v = yield ev
+            got.append((v, sim.now))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [("past", 0.0)]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_yielding_garbage_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a waitable"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestProcessJoin:
+    def test_join_receives_return_value(self):
+        sim = Simulator()
+        got = []
+
+        def child():
+            yield sim.timeout(4.0)
+            return "result"
+
+        def parent():
+            proc = sim.process(child(), name="child")
+            value = yield proc
+            got.append((value, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert got == [("result", 4.0)]
+
+    def test_join_finished_process_is_immediate(self):
+        sim = Simulator()
+        got = []
+
+        def child():
+            return "early"
+            yield  # pragma: no cover
+
+        def parent():
+            proc = sim.process(child(), name="child")
+            yield sim.timeout(10.0)
+            value = yield proc
+            got.append((value, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert got == [("early", 10.0)]
+
+    def test_alive_flag(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(child())
+        assert proc.alive
+        sim.run()
+        assert not proc.alive
+
+
+class TestAnyOf:
+    def test_anyof_returns_first_event(self):
+        sim = Simulator()
+        fast = sim.event("fast")
+        slow = sim.event("slow")
+        got = []
+
+        def racer():
+            event, value = yield AnyOf([slow, fast])
+            got.append((event.name, value, sim.now))
+
+        def driver():
+            yield sim.timeout(2.0)
+            fast.succeed("f")
+            yield sim.timeout(2.0)
+            slow.succeed("s")
+
+        sim.process(racer())
+        sim.process(driver())
+        sim.run()
+        assert got == [("fast", "f", 2.0)]
+
+    def test_anyof_requires_events(self):
+        with pytest.raises(SimulationError):
+            AnyOf([])
+
+
+class TestInterrupt:
+    def test_interrupt_preempts_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+                log.append("slept full")
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause, sim.now))
+                yield sim.timeout(5.0)
+                log.append(("resumed", sim.now))
+
+        def interrupter(target):
+            yield sim.timeout(10.0)
+            target.interrupt("wakeup")
+
+        proc = sim.process(sleeper())
+        sim.process(interrupter(proc))
+        sim.run()
+        assert log == [("interrupted", "wakeup", 10.0), ("resumed", 15.0)]
+
+    def test_stale_timeout_does_not_double_wake(self):
+        """After an interrupt, the abandoned timeout must not resume the
+        process a second time."""
+        sim = Simulator()
+        wakes = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(50.0)
+            except Interrupt:
+                pass
+            wakes.append(sim.now)
+            yield sim.timeout(100.0)
+            wakes.append(sim.now)
+
+        def interrupter(target):
+            yield sim.timeout(10.0)
+            target.interrupt()
+
+        proc = sim.process(sleeper())
+        sim.process(interrupter(proc))
+        sim.run()
+        assert wakes == [10.0, 110.0]
+
+    def test_unhandled_interrupt_kills_process(self):
+        sim = Simulator()
+
+        def sleeper():
+            yield sim.timeout(100.0)
+
+        def interrupter(target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        proc = sim.process(sleeper())
+        sim.process(interrupter(proc))
+        sim.run()
+        assert not proc.alive
+
+    def test_interrupt_dead_process_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(quick())
+        sim.run()
+        proc.interrupt()  # must not raise
+        sim.run()
+
+
+class TestResource:
+    def test_mutual_exclusion_and_fifo_order(self):
+        sim = Simulator()
+        res = Resource(sim, "bus")
+        log = []
+
+        def user(tag, hold):
+            yield from res.acquire()
+            log.append((tag, "in", sim.now))
+            yield sim.timeout(hold)
+            log.append((tag, "out", sim.now))
+            res.release()
+
+        sim.process(user("a", 5.0))
+        sim.process(user("b", 3.0))
+        sim.process(user("c", 1.0))
+        sim.run()
+        assert log == [
+            ("a", "in", 0.0), ("a", "out", 5.0),
+            ("b", "in", 5.0), ("b", "out", 8.0),
+            ("c", "in", 8.0), ("c", "out", 9.0),
+        ]
+
+    def test_no_barging_on_handoff(self):
+        """A process that calls acquire at the moment of release must not
+        jump ahead of an already-queued waiter."""
+        sim = Simulator()
+        res = Resource(sim, "r")
+        order = []
+
+        def holder():
+            yield from res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield sim.timeout(1.0)
+            yield from res.acquire()
+            order.append(("waiter", sim.now))
+            yield sim.timeout(5.0)
+            res.release()
+
+        def barger():
+            yield sim.timeout(10.0)  # arrives exactly at release time
+            yield from res.acquire()
+            order.append(("barger", sim.now))
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.process(barger())
+        sim.run()
+        assert order[0][0] == "waiter"
+
+    def test_release_idle_rejected(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_wait_accounting(self):
+        sim = Simulator()
+        res = Resource(sim)
+
+        def first():
+            yield from res.acquire()
+            yield sim.timeout(8.0)
+            res.release()
+
+        def second():
+            yield from res.acquire()
+            res.release()
+
+        sim.process(first())
+        sim.process(second())
+        sim.run()
+        assert res.total_wait == pytest.approx(8.0)
+        assert res.acquisitions == 2
+
+
+class TestAccounting:
+    def test_activations_counted(self):
+        sim = Simulator()
+
+        def proc(n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        sim.process(proc(10))
+        sim.run()
+        # initial start + 10 timeouts = 11 activations
+        assert sim.activations == 11

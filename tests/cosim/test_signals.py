@@ -1,0 +1,165 @@
+"""Tests for signals, clocks, and tracing."""
+
+import pytest
+
+from repro.cosim.kernel import Simulator
+from repro.cosim.signals import Clock, Signal, Trace
+
+
+class TestSignal:
+    def test_set_changes_value_and_fires(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        got = []
+
+        def watcher():
+            v = yield sig.changed
+            got.append((v, sim.now))
+
+        def driver():
+            yield sim.timeout(3.0)
+            sig.set(7)
+
+        sim.process(watcher())
+        sim.process(driver())
+        sim.run()
+        assert sig.value == 7
+        assert got == [(7, 3.0)]
+
+    def test_set_same_value_does_not_fire(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=5)
+        fired = []
+
+        def watcher():
+            yield sig.changed
+            fired.append(sim.now)
+
+        def driver():
+            yield sim.timeout(1.0)
+            sig.set(5)  # no-op
+            yield sim.timeout(1.0)
+            sig.set(6)
+
+        sim.process(watcher())
+        sim.process(driver())
+        sim.run()
+        assert fired == [2.0]
+
+    def test_wait_for_returns_immediately_when_satisfied(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=3)
+        log = []
+
+        def proc():
+            yield from sig.wait_for(3)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [0.0]
+
+    def test_wait_for_skips_intermediate_values(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        log = []
+
+        def proc():
+            yield from sig.wait_for(9)
+            log.append(sim.now)
+
+        def driver():
+            for i, v in enumerate((1, 5, 9), start=1):
+                yield sim.timeout(1.0)
+                sig.set(v)
+
+        sim.process(proc())
+        sim.process(driver())
+        sim.run()
+        assert log == [3.0]
+
+    def test_edges(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        log = []
+
+        def rise():
+            yield from sig.rising_edge()
+            log.append(("rise", sim.now))
+
+        def fall():
+            yield from sig.falling_edge()
+            log.append(("fall", sim.now))
+
+        def driver():
+            yield sim.timeout(1.0)
+            sig.set(1)
+            yield sim.timeout(1.0)
+            sig.set(0)
+
+        sim.process(rise())
+        sim.process(fall())
+        sim.process(driver())
+        sim.run()
+        assert ("rise", 1.0) in log and ("fall", 2.0) in log
+
+
+class TestClock:
+    def test_clock_toggles_with_period(self):
+        sim = Simulator()
+        trace = Trace()
+        Clock(sim, period=10.0, until=35.0, trace=trace)
+        sim.run(until=50.0)
+        changes = trace.changes("clk")
+        # init 0 at t=0, then 1@0, 0@5, 1@10, 0@15, 1@20, 0@25, 1@30, 0@35
+        values = [v for _t, v in changes]
+        assert values[:3] == [0, 1, 0]
+        times = [t for t, _v in changes[1:]]
+        assert times == pytest.approx([0, 5, 10, 15, 20, 25, 30, 35])
+
+    def test_clock_rejects_bad_period(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Clock(sim, period=0.0)
+
+    def test_cycle_count(self):
+        sim = Simulator()
+        clk = Clock(sim, period=2.0, until=19.0)
+        sim.run(until=100.0)
+        assert clk.cycles == 10
+
+
+class TestTrace:
+    def test_value_at_reconstruction(self):
+        trace = Trace()
+        trace.record(0.0, "x", 1)
+        trace.record(5.0, "x", 2)
+        trace.record(9.0, "x", 3)
+        assert trace.value_at("x", 0.0) == 1
+        assert trace.value_at("x", 4.9) == 1
+        assert trace.value_at("x", 5.0) == 2
+        assert trace.value_at("x", 100.0) == 3
+        assert trace.value_at("y", 1.0) is None
+
+    def test_edge_count_excludes_initial(self):
+        trace = Trace()
+        trace.record(0.0, "x", 0)
+        trace.record(1.0, "x", 1)
+        trace.record(2.0, "x", 0)
+        assert trace.edge_count("x") == 2
+        assert trace.edge_count("ghost") == 0
+
+    def test_signals_in_first_appearance_order(self):
+        trace = Trace()
+        trace.record(0.0, "b", 0)
+        trace.record(0.0, "a", 0)
+        trace.record(1.0, "b", 1)
+        assert trace.signals() == ["b", "a"]
+
+    def test_dump_contains_all_changes(self):
+        trace = Trace()
+        trace.record(0.0, "x", 1)
+        trace.record(2.5, "y", 3)
+        dump = trace.dump_vcd_like()
+        assert "#0.000 x = 1" in dump
+        assert "#2.500 y = 3" in dump

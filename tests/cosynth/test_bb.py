@@ -1,0 +1,119 @@
+"""Tests for the 0/1 branch-and-bound ILP solver, cross-validated
+against scipy's HiGHS MILP solver on random instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cosynth.multiproc.bb import (
+    IlpError,
+    ZeroOneProblem,
+    solve_binary,
+)
+
+
+class TestBasics:
+    def test_trivial_minimum(self):
+        # min x0 + 2 x1 s.t. x0 + x1 >= 1  (as -x0 - x1 <= -1)
+        problem = ZeroOneProblem(
+            c=[1.0, 2.0],
+            a_ub=[[-1.0, -1.0]],
+            b_ub=[-1.0],
+        )
+        sol = solve_binary(problem)
+        assert sol.value == pytest.approx(1.0)
+        assert list(sol.x) == [1.0, 0.0]
+
+    def test_equality_constraint(self):
+        # exactly one of three, minimize cost
+        problem = ZeroOneProblem(
+            c=[5.0, 3.0, 4.0],
+            a_eq=[[1.0, 1.0, 1.0]],
+            b_eq=[1.0],
+        )
+        sol = solve_binary(problem)
+        assert sol.value == pytest.approx(3.0)
+
+    def test_infeasible_returns_none(self):
+        problem = ZeroOneProblem(
+            c=[1.0],
+            a_eq=[[1.0]],
+            b_eq=[2.0],  # x must equal 2: impossible for binary
+        )
+        assert solve_binary(problem) is None
+
+    def test_knapsack(self):
+        # max value <=> min -value, weight <= 5
+        values = [6.0, 10.0, 12.0]
+        weights = [1.0, 2.0, 3.0]
+        problem = ZeroOneProblem(
+            c=[-v for v in values],
+            a_ub=[weights],
+            b_ub=[5.0],
+        )
+        sol = solve_binary(problem)
+        assert sol.value == pytest.approx(-22.0)  # items 1 + 2
+
+    def test_node_budget_enforced(self):
+        # root LP is fractional (sum x <= 2.5), so branching is required
+        problem = ZeroOneProblem(
+            c=[-1.0, -1.0, -1.0],
+            a_ub=[[1.0, 1.0, 1.0]],
+            b_ub=[2.5],
+        )
+        with pytest.raises(IlpError):
+            solve_binary(problem, max_nodes=1)
+
+
+class TestAgainstHighs:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_matches_scipy_milp_on_random_set_partition(self, seed):
+        """Random small set-partition-with-knapsack instances: our B&B
+        must find the same optimal value as HiGHS."""
+        from scipy.optimize import Bounds, LinearConstraint, milp
+
+        rng = np.random.RandomState(seed)
+        n_items, n_bins = 5, 3
+        n = n_items * n_bins
+        cost = rng.randint(1, 10, size=n).astype(float)
+        # each item in exactly one bin
+        a_eq = np.zeros((n_items, n))
+        for i in range(n_items):
+            a_eq[i, i * n_bins:(i + 1) * n_bins] = 1.0
+        b_eq = np.ones(n_items)
+        # each bin holds at most 2 items
+        a_ub = np.zeros((n_bins, n))
+        for b in range(n_bins):
+            a_ub[b, b::n_bins] = 1.0
+        b_ub = np.full(n_bins, 2.0)
+
+        ours = solve_binary(ZeroOneProblem(
+            c=cost, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq
+        ))
+        ref = milp(
+            c=cost,
+            constraints=[
+                LinearConstraint(a_eq, b_eq, b_eq),
+                LinearConstraint(a_ub, -np.inf, b_ub),
+            ],
+            integrality=np.ones(n),
+            bounds=Bounds(0, 1),
+        )
+        if ref.status == 0:
+            assert ours is not None
+            assert ours.value == pytest.approx(ref.fun, abs=1e-6)
+        else:
+            assert ours is None
+
+    def test_branch_priority_changes_search_not_answer(self):
+        problem_args = dict(
+            c=[3.0, 2.0, 4.0, 1.0],
+            a_ub=[[-1.0, -1.0, -1.0, -1.0]],
+            b_ub=[-2.0],
+        )
+        plain = solve_binary(ZeroOneProblem(**problem_args))
+        biased = solve_binary(ZeroOneProblem(
+            **problem_args, branch_priority=[5.0, 0.0, 0.0, 5.0]
+        ))
+        assert plain.value == pytest.approx(biased.value)

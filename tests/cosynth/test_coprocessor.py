@@ -1,0 +1,85 @@
+"""Tests for the Figure 8 co-processor synthesis flow."""
+
+import pytest
+
+from repro.cosynth.coprocessor import (
+    characterize_behavior,
+    synthesize_coprocessor,
+)
+from repro.graph import kernels
+
+
+def behavior_set():
+    return {
+        "dct": kernels.dct4(),
+        "fir": kernels.fir(8),
+        "crc": kernels.crc_step(),
+    }
+
+
+DATAFLOW = [("fir", "dct", 8.0), ("dct", "crc", 4.0)]
+
+
+class TestCharacterization:
+    def test_task_fields_come_from_real_implementations(self):
+        impl = characterize_behavior("fir", kernels.fir(8))
+        assert impl.task.sw_time > impl.task.hw_time  # HW wins on DSP code
+        assert impl.task.hw_area == impl.hls.area
+        assert impl.task.sw_size == impl.software.code_size
+
+    def test_parallel_kernel_scores_high_parallelism(self):
+        fir = characterize_behavior("fir", kernels.fir(8))
+        crc = characterize_behavior("crc", kernels.crc_step())
+        assert fir.task.parallelism > crc.task.parallelism
+
+    def test_verify_checks_three_implementations(self):
+        impl = characterize_behavior("dct", kernels.dct4())
+        inputs = {op.name: i + 1 for i, op in enumerate(impl.cdfg.inputs())}
+        assert impl.verify(inputs)
+
+
+class TestFlow:
+    def test_flow_produces_working_design(self):
+        design = synthesize_coprocessor(
+            behavior_set(), DATAFLOW, deadline_ns=2000.0
+        )
+        assert set(design.hw_behaviors) | set(design.sw_behaviors) == \
+            set(behavior_set())
+        assert design.verify_all()
+
+    def test_hw_gets_the_dsp_kernels_not_the_crc(self):
+        """Nature of computation: with the nature factor weighted up, the
+        parallel FIR belongs in hardware and the serial bit-twiddling CRC
+        stays in software (its dependence chain wastes a datapath)."""
+        from repro.partition.cost import CostWeights
+
+        design = synthesize_coprocessor(
+            behavior_set(), DATAFLOW,
+            algorithm="greedy",
+            weights=CostWeights(nature=5.0),
+        )
+        assert "fir" in design.hw_behaviors
+        assert "crc" in design.sw_behaviors
+
+    def test_speedup_over_all_software(self):
+        design = synthesize_coprocessor(
+            behavior_set(), DATAFLOW, deadline_ns=1200.0
+        )
+        assert design.speedup_vs_all_software() > 1.0
+
+    def test_area_budget_respected(self):
+        design = synthesize_coprocessor(
+            behavior_set(), DATAFLOW, hw_area_budget=10.0,
+            algorithm="cosyma",
+        )
+        assert design.coprocessor_area <= 10.0
+        assert design.hw_behaviors == []
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            synthesize_coprocessor(behavior_set(), algorithm="magic")
+
+    def test_summary_text(self):
+        design = synthesize_coprocessor(behavior_set(), DATAFLOW)
+        text = design.summary()
+        assert "HW=" in text and "speedup" in text

@@ -1,0 +1,65 @@
+"""Tests for co-simulation validation of multiprocessor schedules."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cosynth import Allocation, binpack_synthesis, schedule_on
+from repro.cosynth.multiproc.cosimulate import simulate_schedule
+from repro.estimate.communication import CommModel, TIGHT
+from repro.estimate.software import default_processor_library
+from repro.graph.generators import periodic_taskset, random_layered_graph
+from repro.graph.taskgraph import Task, TaskGraph
+
+LIB = default_processor_library()
+NO_COMM = CommModel(sync_overhead_ns=0.0, word_time_ns=0.0)
+
+
+class TestBasics:
+    def test_single_pe_serializes_exactly(self):
+        graph = random_layered_graph(random.Random(2), n_tasks=8)
+        alloc = Allocation.of({"r32": 1}, LIB)
+        schedule = schedule_on(graph, alloc, NO_COMM)
+        sim = simulate_schedule(graph, schedule, NO_COMM)
+        assert sim.latency_ns == pytest.approx(graph.total_time("sw"))
+        assert sim.messages == 0
+        assert sim.agreement(schedule) == pytest.approx(1.0)
+
+    def test_cross_pe_edges_become_messages(self):
+        graph = TaskGraph()
+        graph.add_task(Task("a", sw_time=10.0))
+        graph.add_task(Task("b", sw_time=10.0))
+        graph.add_edge("a", "b", 8.0)
+        alloc = Allocation.of({"r32": 2}, LIB)
+        comm = CommModel(sync_overhead_ns=5.0, word_time_ns=1.0)
+        schedule = schedule_on(graph, alloc, comm,
+                               mapping={"a": "r32#0", "b": "r32#1"})
+        sim = simulate_schedule(graph, schedule, comm)
+        assert sim.messages == 1
+        assert sim.latency_ns == pytest.approx(10 + 13 + 10)
+        assert sim.agreement(schedule) == pytest.approx(1.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6), n_pes=st.integers(1, 3))
+    def test_simulation_agrees_with_scheduler(self, seed, n_pes):
+        """The DES must land within 30% of the analytic makespan on
+        arbitrary mappings (it shares the cost model, not the code)."""
+        graph = random_layered_graph(random.Random(seed), n_tasks=9)
+        alloc = Allocation.of({"r32": n_pes}, LIB)
+        schedule = schedule_on(graph, alloc, TIGHT)
+        sim = simulate_schedule(graph, schedule, TIGHT)
+        assert 0.7 <= sim.agreement(schedule) <= 1.3
+
+    def test_validates_synthesizer_output(self):
+        """The Figure 2 nesting: co-synthesis results pass through
+        co-simulation before being believed."""
+        graph = periodic_taskset(random.Random(5), n_tasks=10,
+                                 period=100.0, utilization=1.2)
+        result = binpack_synthesis(graph, 100.0, LIB)
+        assert result is not None
+        sim = simulate_schedule(graph, result.schedule)
+        # the simulated system must still meet the deadline (with a
+        # modest tolerance for resource-ordering differences)
+        assert sim.latency_ns <= result.deadline * 1.25
+        assert len(sim.finish_times) == len(graph)

@@ -1,0 +1,176 @@
+"""Tests for heterogeneous multiprocessor co-synthesis (Figure 5)."""
+
+import random
+
+import pytest
+
+from repro.cosynth import (
+    Allocation,
+    PeInstance,
+    binpack_synthesis,
+    ilp_synthesis,
+    schedule_on,
+    sensitivity_synthesis,
+)
+from repro.cosynth.multiproc.library import execution_time
+from repro.estimate.communication import CommModel
+from repro.estimate.software import Processor, default_processor_library
+from repro.graph.generators import periodic_taskset
+from repro.graph.taskgraph import Task, TaskGraph
+
+LIB = default_processor_library()
+SMALL_LIB = {k: LIB[k] for k in ("micro16", "r32", "dsp")}
+NO_COMM = CommModel(sync_overhead_ns=0.0, word_time_ns=0.0)
+
+
+def taskset(seed=5, n=10, utilization=1.5):
+    return periodic_taskset(
+        random.Random(seed), n_tasks=n, period=100.0,
+        utilization=utilization,
+    )
+
+
+class TestExecutionTime:
+    def test_wcet_override_wins(self):
+        task = Task("t", sw_time=100.0, wcet={"dsp": 7.0})
+        assert execution_time(task, LIB["dsp"]) == 7.0
+
+    def test_scaling_by_throughput(self):
+        task = Task("t", sw_time=100.0)
+        assert execution_time(task, LIB["r32"]) == pytest.approx(100.0)
+        assert execution_time(task, LIB["micro8"]) == pytest.approx(800.0)
+        assert execution_time(task, LIB["dsp"]) == pytest.approx(32.0)
+
+
+class TestAllocation:
+    def test_of_counts(self):
+        alloc = Allocation.of({"r32": 2, "dsp": 1}, LIB)
+        assert len(alloc) == 3
+        assert alloc.cost == pytest.approx(2 * 100 + 260)
+        assert alloc.counts == {"r32": 2, "dsp": 1}
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation.of({"r32": -1}, LIB)
+
+
+class TestScheduler:
+    def test_single_pe_serializes(self):
+        g = taskset()
+        alloc = Allocation.of({"r32": 1}, LIB)
+        sched = schedule_on(g, alloc, NO_COMM)
+        assert sched.makespan == pytest.approx(g.total_time("sw"))
+        assert sched.utilization() == pytest.approx(1.0)
+
+    def test_more_pes_never_slower(self):
+        g = taskset()
+        one = schedule_on(g, Allocation.of({"r32": 1}, LIB), NO_COMM)
+        two = schedule_on(g, Allocation.of({"r32": 2}, LIB), NO_COMM)
+        assert two.makespan <= one.makespan + 1e-9
+
+    def test_comm_charged_between_pes_only(self):
+        g = TaskGraph()
+        g.add_task(Task("a", sw_time=10.0))
+        g.add_task(Task("b", sw_time=10.0))
+        g.add_edge("a", "b", 16.0)
+        comm = CommModel(sync_overhead_ns=50.0, word_time_ns=1.0)
+        one = schedule_on(g, Allocation.of({"r32": 1}, LIB), comm)
+        assert one.comm_ns == 0.0
+        pinned = schedule_on(
+            g, Allocation.of({"r32": 2}, LIB), comm,
+            mapping={"a": "r32#0", "b": "r32#1"},
+        )
+        assert pinned.comm_ns == pytest.approx(66.0)
+        assert pinned.makespan == pytest.approx(10 + 66 + 10)
+
+    def test_heft_avoids_needless_comm(self):
+        """With huge comm costs, free scheduling keeps a chain on one PE."""
+        g = TaskGraph()
+        for n in "abc":
+            g.add_task(Task(n, sw_time=10.0))
+        g.add_edge("a", "b", 100.0)
+        g.add_edge("b", "c", 100.0)
+        comm = CommModel(sync_overhead_ns=100.0, word_time_ns=10.0)
+        sched = schedule_on(g, Allocation.of({"r32": 3}, LIB), comm)
+        assert len(set(sched.mapping.values())) == 1
+        assert sched.comm_ns == 0.0
+
+    def test_pinned_mapping_respected(self):
+        g = taskset(n=6)
+        alloc = Allocation.of({"r32": 2}, LIB)
+        names = [pe.name for pe in alloc.instances]
+        mapping = {
+            t: names[i % 2] for i, t in enumerate(g.task_names)
+        }
+        sched = schedule_on(g, alloc, NO_COMM, mapping=mapping)
+        assert sched.mapping == mapping
+
+    def test_empty_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_on(taskset(), Allocation([]), NO_COMM)
+
+
+class TestSynthesizers:
+    @pytest.mark.parametrize("seed", [5, 9, 13])
+    def test_all_three_feasible_and_ilp_cheapest(self, seed):
+        """The exact method must never be beaten on cost by heuristics
+        evaluated under the same capacity model."""
+        g = taskset(seed)
+        ilp = ilp_synthesis(g, 100.0, SMALL_LIB, max_instances_per_type=2)
+        bp = binpack_synthesis(g, 100.0, SMALL_LIB)
+        sens = sensitivity_synthesis(g, 100.0, SMALL_LIB)
+        assert ilp is not None and ilp.feasible
+        assert bp is not None and bp.feasible
+        assert sens is not None and sens.feasible
+        assert ilp.cost <= bp.cost + 1e-9
+        assert ilp.cost <= sens.cost + 1e-9
+
+    def test_loose_deadline_buys_cheap_processors(self):
+        """Figure 5's trade-off: relaxing the deadline lets every
+        synthesizer move to cheaper allocations."""
+        g = taskset(7)
+        tight = binpack_synthesis(g, 80.0, LIB)
+        loose = binpack_synthesis(g, 800.0, LIB)
+        assert tight is not None and loose is not None
+        assert loose.cost <= tight.cost
+        tight_s = sensitivity_synthesis(g, 80.0, LIB)
+        loose_s = sensitivity_synthesis(g, 800.0, LIB)
+        assert loose_s.cost <= tight_s.cost
+
+    def test_impossible_deadline_infeasible(self):
+        g = taskset(5)
+        assert binpack_synthesis(g, 0.5, LIB) is None
+        assert sensitivity_synthesis(g, 0.5, LIB) is None
+        assert ilp_synthesis(g, 0.5, SMALL_LIB) is None
+
+    def test_binpack_respects_memory_dimension(self):
+        """A task too big for a small processor's memory must not be
+        packed onto it even if the time fits."""
+        g = TaskGraph()
+        g.add_task(Task("big", sw_time=5.0, sw_size=512.0))  # > micro8 mem
+        tiny_lib = {"micro8": LIB["micro8"], "r32": LIB["r32"]}
+        result = binpack_synthesis(g, 1000.0, tiny_lib)
+        assert result is not None
+        assert result.allocation.counts == {"r32": 1}
+
+    def test_sensitivity_walks_cost_down(self):
+        g = taskset(11, utilization=0.8)
+        result = sensitivity_synthesis(g, 200.0, LIB)
+        assert result is not None and result.feasible
+        # with that much slack a single cheap processor should win over
+        # the fastest-type starting point
+        fastest_cost = max(p.cost for p in LIB.values())
+        assert result.cost < fastest_cost
+
+    def test_summary_text(self):
+        g = taskset(5)
+        result = binpack_synthesis(g, 100.0, LIB)
+        assert "binpack" in result.summary()
+        assert "meets" in result.summary()
+
+    def test_deterministic(self):
+        g1, g2 = taskset(5), taskset(5)
+        a = sensitivity_synthesis(g1, 100.0, LIB)
+        b = sensitivity_synthesis(g2, 100.0, LIB)
+        assert a.allocation.counts == b.allocation.counts
+        assert a.schedule.makespan == pytest.approx(b.schedule.makespan)

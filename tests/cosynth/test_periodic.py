@@ -1,0 +1,125 @@
+"""Tests for multi-rate periodic synthesis (the SOS problem form)."""
+
+import random
+
+import pytest
+
+from repro.cosynth.multiproc.periodic import (
+    PeriodicSpecError,
+    hyperperiod,
+    periodic_synthesis,
+    unroll_hyperperiod,
+    utilization,
+)
+from repro.estimate.communication import CommModel
+from repro.estimate.software import default_processor_library
+from repro.graph.taskgraph import Task, TaskGraph
+
+LIB = default_processor_library()
+NO_COMM = CommModel(sync_overhead_ns=0.0, word_time_ns=0.0)
+
+
+def multirate_graph():
+    """Three rates: 50/100/200 ns periods, hyperperiod 200."""
+    g = TaskGraph("multirate")
+    g.add_task(Task("fast", sw_time=10.0, period=50.0))
+    g.add_task(Task("mid", sw_time=20.0, period=100.0))
+    g.add_task(Task("slow", sw_time=40.0, period=200.0))
+    g.add_edge("fast", "mid", 4.0)
+    g.add_edge("mid", "slow", 4.0)
+    return g
+
+
+class TestHyperperiod:
+    def test_lcm_of_periods(self):
+        assert hyperperiod(multirate_graph()) == pytest.approx(200.0)
+
+    def test_fractional_periods(self):
+        g = TaskGraph()
+        g.add_task(Task("a", sw_time=1.0, period=2.5))
+        g.add_task(Task("b", sw_time=1.0, period=1.5))
+        assert hyperperiod(g) == pytest.approx(7.5)
+
+    def test_missing_period_rejected(self):
+        g = TaskGraph()
+        g.add_task(Task("a", sw_time=1.0))
+        with pytest.raises(PeriodicSpecError):
+            hyperperiod(g)
+
+
+class TestUtilization:
+    def test_utilization_formula(self):
+        task = Task("t", sw_time=25.0, period=100.0)
+        assert utilization(task, LIB["r32"]) == pytest.approx(0.25)
+        assert utilization(task, LIB["micro8"]) == pytest.approx(2.0)
+
+    def test_requires_period(self):
+        with pytest.raises(PeriodicSpecError):
+            utilization(Task("t", sw_time=1.0), LIB["r32"])
+
+
+class TestUnrolling:
+    def test_job_counts_match_rates(self):
+        unrolled, H = unroll_hyperperiod(multirate_graph())
+        assert H == pytest.approx(200.0)
+        names = unrolled.task_names
+        assert sum(n.startswith("fast@") for n in names) == 4
+        assert sum(n.startswith("mid@") for n in names) == 2
+        assert sum(n.startswith("slow@") for n in names) == 1
+
+    def test_successive_jobs_serialized(self):
+        unrolled, _h = unroll_hyperperiod(multirate_graph())
+        assert unrolled.has_edge("fast@0", "fast@1")
+        assert unrolled.has_edge("mid@0", "mid@1")
+
+    def test_rate_crossing_edges_land_in_windows(self):
+        unrolled, _h = unroll_hyperperiod(multirate_graph())
+        # fast@2 releases at t=100, inside mid@1's window [100, 200)
+        assert unrolled.has_edge("fast@2", "mid@1")
+        assert unrolled.has_edge("fast@0", "mid@0")
+
+    def test_job_deadlines_are_window_ends(self):
+        unrolled, _h = unroll_hyperperiod(multirate_graph())
+        assert unrolled.task("fast@0").deadline == pytest.approx(50.0)
+        assert unrolled.task("fast@3").deadline == pytest.approx(200.0)
+
+    def test_unrolled_graph_is_acyclic(self):
+        unrolled, _h = unroll_hyperperiod(multirate_graph())
+        unrolled.validate()
+
+
+class TestPeriodicSynthesis:
+    def test_finds_feasible_allocation(self):
+        result = periodic_synthesis(multirate_graph(), LIB, NO_COMM)
+        assert result is not None
+        assert result.feasible
+        # total utilization is 0.8 on the reference processor: one r32
+        # class PE should suffice
+        assert len(result.allocation) <= 2
+
+    def test_infeasible_rates_return_none(self):
+        g = TaskGraph()
+        # demands 5x a dsp's throughput at its rate
+        g.add_task(Task("hog", sw_time=100.0, period=10.0))
+        assert periodic_synthesis(g, LIB, NO_COMM) is None
+
+    def test_higher_load_costs_more(self):
+        light = TaskGraph()
+        heavy = TaskGraph()
+        for i in range(4):
+            light.add_task(Task(f"t{i}", sw_time=10.0, period=100.0))
+            heavy.add_task(Task(f"t{i}", sw_time=60.0, period=100.0))
+        cheap = periodic_synthesis(light, LIB, NO_COMM)
+        costly = periodic_synthesis(heavy, LIB, NO_COMM)
+        assert cheap is not None and costly is not None
+        assert cheap.cost < costly.cost
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(PeriodicSpecError):
+            periodic_synthesis(multirate_graph(), LIB, NO_COMM,
+                               u_bound=0.0)
+
+    def test_summary_text(self):
+        result = periodic_synthesis(multirate_graph(), LIB, NO_COMM)
+        assert "hyperperiod" in result.summary()
+        assert "utilization" in result.summary()

@@ -1,0 +1,87 @@
+"""Tests for hardware estimation (quick vs synthesis)."""
+
+import pytest
+
+from repro.graph import kernels
+from repro.estimate.hardware import (
+    HardwareEstimate,
+    estimate_cdfg_hardware,
+    estimation_error,
+    fu_requirements,
+    synthesize_cdfg_hardware,
+)
+
+KERNELS = sorted(kernels.ALL_CDFG_KERNELS)
+
+
+class TestQuickEstimate:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_positive_numbers(self, name):
+        est = estimate_cdfg_hardware(kernels.ALL_CDFG_KERNELS[name]())
+        assert est.area > 0
+        assert est.latency_ns > 0
+        assert est.detail == "quick"
+
+    def test_bigger_kernel_bigger_estimate(self):
+        small = estimate_cdfg_hardware(kernels.fir(4))
+        large = estimate_cdfg_hardware(kernels.fir(16))
+        assert large.area > small.area
+
+    def test_multiplier_heavy_costs_more(self):
+        mul_heavy = estimate_cdfg_hardware(kernels.matmul2())   # 8 muls
+        logic_heavy = estimate_cdfg_hardware(kernels.crc_step())
+        assert mul_heavy.area > logic_heavy.area
+
+    def test_negative_estimate_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareEstimate(area=-1, latency_ns=0)
+
+
+class TestFuRequirements:
+    def test_requirements_bounded_by_op_counts(self):
+        g = kernels.fir(8)
+        needs = fu_requirements(g)
+        assert 1 <= needs["multiplier"] <= 8
+        assert 1 <= needs["adder"] <= 7
+
+    def test_serial_kernel_needs_few_units(self):
+        needs = fu_requirements(kernels.crc_step())
+        # 25-deep chain of logic ops: near-serial execution
+        assert needs["logic_unit"] <= 4
+
+
+class TestAgainstSynthesis:
+    @pytest.mark.parametrize("name", ["ewf", "fir8", "dct4", "biquad"])
+    def test_quick_estimate_within_2x_of_synthesis(self, name):
+        """The quick estimator must land in the right ballpark — the
+        partitioners rank moves with it."""
+        g = kernels.ALL_CDFG_KERNELS[name]()
+        quick = estimate_cdfg_hardware(g)
+        exact = synthesize_cdfg_hardware(g)
+        assert estimation_error(quick, exact) < 1.0, (
+            f"{name}: quick={quick.area:.0f} exact={exact.area:.0f}"
+        )
+
+    def test_quick_preserves_area_ordering(self):
+        """Ranking kernels by quick estimate must broadly match ranking
+        by synthesis (Spearman-ish check on three spread-out kernels)."""
+        names = ["crc_step", "biquad", "fir16"]
+        quick = [estimate_cdfg_hardware(kernels.ALL_CDFG_KERNELS[n]()).area
+                 for n in names]
+        exact = [synthesize_cdfg_hardware(kernels.ALL_CDFG_KERNELS[n]()).area
+                 for n in names]
+        assert (sorted(range(3), key=lambda i: quick[i])
+                == sorted(range(3), key=lambda i: exact[i]))
+
+    def test_synthesis_detail_flag(self):
+        exact = synthesize_cdfg_hardware(kernels.dct4())
+        assert exact.detail == "synthesis"
+
+    def test_resource_constrained_synthesis_smaller(self):
+        g = kernels.fir(8)
+        free = synthesize_cdfg_hardware(g)
+        tight = synthesize_cdfg_hardware(
+            g, resources={"adder": 1, "multiplier": 1}
+        )
+        assert tight.area < free.area
+        assert tight.latency_ns > free.latency_ns

@@ -1,0 +1,108 @@
+"""Tests for software estimation and communication models."""
+
+import pytest
+
+from repro.cosim.bus import SystemBus
+from repro.cosim.kernel import Simulator
+from repro.estimate.communication import CommModel, DEFAULT, LOOSE, TIGHT
+from repro.estimate.software import (
+    Processor,
+    default_processor_library,
+    estimate_cdfg_software,
+    measure_cdfg_software,
+)
+from repro.graph import kernels
+from repro.graph.taskgraph import Task, TaskGraph
+
+
+class TestProcessor:
+    def test_time_scales_with_speed(self):
+        slow = Processor("slow", clock_ns=10.0, speed_factor=1.0)
+        fast = Processor("fast", clock_ns=10.0, speed_factor=2.0)
+        assert fast.time_for_cycles(100) == slow.time_for_cycles(100) / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Processor("bad", clock_ns=0.0)
+        with pytest.raises(ValueError):
+            Processor("bad", speed_factor=-1.0)
+        with pytest.raises(ValueError):
+            Processor("bad", cost=-5.0)
+
+    def test_default_library_spans_cost_speed_range(self):
+        lib = default_processor_library()
+        assert len(lib) == 5
+        costs = [p.cost for p in lib.values()]
+        assert max(costs) / min(costs) >= 8
+        # faster processors cost more (monotone frontier)
+        by_cost = sorted(lib.values(), key=lambda p: p.cost)
+        speeds = [p.speed_factor / p.clock_ns for p in by_cost]
+        assert speeds == sorted(speeds)
+
+
+class TestStaticSoftwareEstimate:
+    @pytest.mark.parametrize("name", sorted(kernels.ALL_CDFG_KERNELS))
+    def test_estimate_within_60pct_of_measurement(self, name):
+        """Static estimates must track the real cycle counts of the
+        generated code closely enough to rank partitioning moves."""
+        g = kernels.ALL_CDFG_KERNELS[name]()
+        est = estimate_cdfg_software(g)
+        meas = measure_cdfg_software(g)
+        error = abs(est.cycles - meas.cycles) / meas.cycles
+        assert error < 0.6, (
+            f"{name}: est={est.cycles:.0f} meas={meas.cycles:.0f}"
+        )
+
+    def test_estimate_preserves_kernel_ordering(self):
+        names = ["dct4", "ewf", "fir16"]
+        est = [estimate_cdfg_software(kernels.ALL_CDFG_KERNELS[n]()).cycles
+               for n in names]
+        meas = [measure_cdfg_software(kernels.ALL_CDFG_KERNELS[n]()).cycles
+                for n in names]
+        assert (sorted(range(3), key=lambda i: est[i])
+                == sorted(range(3), key=lambda i: meas[i]))
+
+    def test_code_size_positive(self):
+        est = estimate_cdfg_software(kernels.fir(8))
+        assert est.code_words > 16
+
+
+class TestCommModel:
+    def test_transfer_time_formula(self):
+        model = CommModel(sync_overhead_ns=10.0, word_time_ns=2.0)
+        assert model.transfer_ns(5) == 20.0
+        assert model.transfer_ns(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommModel(sync_overhead_ns=-1.0)
+
+    def test_edge_cost_only_on_boundary(self):
+        model = DEFAULT
+        assert model.edge_cost(10.0, crosses_boundary=False) == 0.0
+        assert model.edge_cost(10.0, crosses_boundary=True) > 0.0
+
+    def test_cut_cost(self):
+        g = TaskGraph()
+        for n in "abc":
+            g.add_task(Task(n, sw_time=1.0))
+        g.add_edge("a", "b", 10.0)
+        g.add_edge("b", "c", 4.0)
+        model = CommModel(sync_overhead_ns=5.0, word_time_ns=1.0)
+        # hw = {b}: both edges cross
+        assert model.cut_cost(g, {"b"}) == pytest.approx((5 + 10) + (5 + 4))
+        assert model.cut_cost(g, set()) == 0.0
+        assert model.cut_cost(g, {"a", "b", "c"}) == 0.0
+
+    def test_from_bus_matches_bus_timing(self):
+        sim = Simulator()
+        bus = SystemBus(sim, arbitration_time=1.0, setup_time=2.0,
+                        word_time=3.0)
+        model = CommModel.from_bus(bus, driver_overhead_ns=0.0)
+        # analytic transfer of 4 words == bus occupancy for the transfer
+        expect = bus.arbitration_time + bus.transfer_time(4)
+        assert model.transfer_ns(4) == pytest.approx(expect)
+
+    def test_preset_ordering(self):
+        assert TIGHT.transfer_ns(16) < DEFAULT.transfer_ns(16) \
+            < LOOSE.transfer_ns(16)

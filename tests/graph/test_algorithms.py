@@ -1,0 +1,168 @@
+"""Tests for repro.graph.algorithms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import algorithms as alg
+from repro.graph.generators import random_layered_graph
+from repro.graph.kernels import jpeg_encoder_taskgraph, modem_taskgraph
+from repro.graph.taskgraph import Task, TaskGraph
+
+
+def diamond() -> TaskGraph:
+    g = TaskGraph("diamond")
+    g.add_task(Task("a", sw_time=1.0))
+    g.add_task(Task("b", sw_time=2.0))
+    g.add_task(Task("c", sw_time=5.0))
+    g.add_task(Task("d", sw_time=1.0))
+    g.add_edge("a", "b", 10.0)
+    g.add_edge("a", "c", 1.0)
+    g.add_edge("b", "d", 1.0)
+    g.add_edge("c", "d", 1.0)
+    return g
+
+
+class TestLevels:
+    def test_t_levels_no_comm(self):
+        g = diamond()
+        tl = alg.t_levels(g)
+        assert tl == {"a": 0.0, "b": 1.0, "c": 1.0, "d": 6.0}
+
+    def test_t_levels_with_comm(self):
+        g = diamond()
+        tl = alg.t_levels(g, comm=1.0)
+        assert tl["b"] == pytest.approx(11.0)  # a(1) + 10 volume
+        assert tl["d"] == pytest.approx(max(11.0 + 2 + 1, 2.0 + 5 + 1))
+
+    def test_b_levels(self):
+        g = diamond()
+        bl = alg.b_levels(g)
+        assert bl["d"] == 1.0
+        assert bl["c"] == 6.0
+        assert bl["b"] == 3.0
+        assert bl["a"] == 7.0
+
+    def test_priority_list_decreasing_blevel(self):
+        g = diamond()
+        plist = alg.priority_list(g)
+        assert plist == ["a", "c", "b", "d"]
+
+    def test_slack_zero_on_critical_path(self):
+        g = diamond()
+        sl = alg.slack(g)
+        assert sl["a"] == pytest.approx(0.0)
+        assert sl["c"] == pytest.approx(0.0)
+        assert sl["d"] == pytest.approx(0.0)
+        assert sl["b"] > 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 30))
+    def test_blevel_of_source_equals_critical_path(self, seed, n):
+        g = random_layered_graph(random.Random(seed), n_tasks=n)
+        bl = alg.b_levels(g)
+        cp, _ = g.critical_path("sw")
+        assert max(bl.values()) == pytest.approx(cp)
+
+
+class TestClustering:
+    def test_linear_clusters_cover_all_tasks_once(self):
+        g = modem_taskgraph()
+        clusters = alg.linear_clusters(g)
+        flat = [n for c in clusters for n in c]
+        assert sorted(flat) == sorted(g.task_names)
+
+    def test_linear_clusters_are_chains(self):
+        g = modem_taskgraph()
+        for chain in alg.linear_clusters(g):
+            for u, v in zip(chain, chain[1:]):
+                assert g.has_edge(u, v)
+
+    def test_first_linear_cluster_is_heaviest_path(self):
+        g = jpeg_encoder_taskgraph()
+        clusters = alg.linear_clusters(g)
+        # jpeg is a pure pipeline: one cluster containing everything
+        assert clusters == [g.task_names]
+
+    def test_communication_clusters_count(self):
+        g = modem_taskgraph()
+        for k in (1, 2, 3, len(g)):
+            clusters = alg.communication_clusters(g, k)
+            assert len(clusters) == k
+            flat = [n for c in clusters for n in c]
+            assert sorted(flat) == sorted(g.task_names)
+
+    def test_communication_clusters_reduce_cut(self):
+        g = modem_taskgraph()
+        smart = alg.communication_clusters(g, 2)
+        smart_cut = alg.inter_cluster_volume(g, smart)
+        # worst-case: alternate tasks between clusters
+        names = g.task_names
+        naive = [names[0::2], names[1::2]]
+        naive_cut = alg.inter_cluster_volume(g, naive)
+        assert smart_cut <= naive_cut
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            alg.communication_clusters(modem_taskgraph(), 0)
+
+
+class TestConvexity:
+    def test_convex_group(self):
+        g = jpeg_encoder_taskgraph()
+        assert alg.is_convex(g, {"dct2d", "quant"})
+
+    def test_non_convex_group(self):
+        g = jpeg_encoder_taskgraph()
+        # skipping quant: dct2d -> quant -> zigzag makes {dct2d, zigzag}
+        # non-convex
+        assert not alg.is_convex(g, {"dct2d", "zigzag"})
+
+    def test_singletons_and_whole_graph_convex(self):
+        g = modem_taskgraph()
+        assert alg.is_convex(g, {"equalizer"})
+        assert alg.is_convex(g, set(g.task_names))
+
+
+class TestMerge:
+    def test_merge_costs(self):
+        g = jpeg_encoder_taskgraph()
+        sw = g.task("dct2d").sw_time + g.task("quant").sw_time
+        area = g.task("dct2d").hw_area + g.task("quant").hw_area
+        merged = alg.merge_tasks(g, ["dct2d", "quant"], "dctq")
+        t = merged.task("dctq")
+        assert t.sw_time == pytest.approx(sw)
+        assert t.hw_area == pytest.approx(area)
+        # hw time is the chain through the group
+        assert t.hw_time == pytest.approx(
+            g.task("dct2d").hw_time + g.task("quant").hw_time
+        )
+
+    def test_merge_rewires_edges(self):
+        g = jpeg_encoder_taskgraph()
+        merged = alg.merge_tasks(g, ["dct2d", "quant"], "dctq")
+        assert merged.has_edge("rgb2ycc", "dctq")
+        assert merged.has_edge("dctq", "zigzag")
+        merged.validate()
+
+    def test_merge_non_convex_rejected(self):
+        g = jpeg_encoder_taskgraph()
+        with pytest.raises(ValueError):
+            alg.merge_tasks(g, ["dct2d", "zigzag"], "bad")
+
+    def test_merge_unknown_task_rejected(self):
+        g = jpeg_encoder_taskgraph()
+        with pytest.raises(KeyError):
+            alg.merge_tasks(g, ["dct2d", "ghost"], "bad")
+
+    def test_merge_parallel_branches_hw_time_is_max(self):
+        g = modem_taskgraph()
+        merged = alg.merge_tasks(g, ["demod_i", "demod_q"], "demod")
+        t = merged.task("demod")
+        assert t.hw_time == pytest.approx(
+            max(g.task("demod_i").hw_time, g.task("demod_q").hw_time)
+        )
+        assert t.sw_time == pytest.approx(
+            g.task("demod_i").sw_time + g.task("demod_q").sw_time
+        )

@@ -1,0 +1,181 @@
+"""Unit and property tests for repro.graph.cdfg."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.cdfg import CDFG, MASK32, Op, OpKind, _signed
+
+words = st.integers(min_value=0, max_value=MASK32)
+
+
+def mac_graph() -> CDFG:
+    g = CDFG("mac")
+    a, b, c = g.inp("a"), g.inp("b"), g.inp("c")
+    g.out("y", g.add(g.mul(a, b), c))
+    return g
+
+
+class TestConstruction:
+    def test_arity_enforced(self):
+        g = CDFG()
+        a = g.inp("a")
+        with pytest.raises(ValueError):
+            g.add_op(OpKind.ADD, (a,))
+        with pytest.raises(ValueError):
+            Op("bad", OpKind.MUX, ("a", "b"))
+
+    def test_const_requires_value(self):
+        with pytest.raises(ValueError):
+            Op("k", OpKind.CONST)
+
+    def test_unknown_argument_rejected(self):
+        g = CDFG()
+        with pytest.raises(KeyError):
+            g.add_op(OpKind.NOT, ("ghost",))
+
+    def test_duplicate_name_rejected(self):
+        g = CDFG()
+        g.inp("a")
+        with pytest.raises(ValueError):
+            g.inp("a")
+
+    def test_auto_names_unique(self):
+        g = CDFG()
+        a, b = g.inp("a"), g.inp("b")
+        names = {g.add(a, b) for _ in range(10)}
+        assert len(names) == 10
+
+    def test_uses_tracking(self):
+        g = mac_graph()
+        mul_name = next(o.name for o in g if o.kind is OpKind.MUL)
+        assert g.uses("a") == [mul_name]
+
+
+class TestQueries:
+    def test_inputs_outputs_compute(self):
+        g = mac_graph()
+        assert [o.name for o in g.inputs()] == ["a", "b", "c"]
+        assert [o.name for o in g.outputs()] == ["y"]
+        assert len(g.compute_ops()) == 2
+
+    def test_histogram(self):
+        g = mac_graph()
+        h = g.op_histogram()
+        assert h[OpKind.INPUT] == 3
+        assert h[OpKind.ADD] == 1
+        assert h[OpKind.MUL] == 1
+
+    def test_depth_counts_compute_chain(self):
+        g = mac_graph()
+        assert g.depth() == 2
+
+    def test_critical_path_uses_delay_table(self):
+        g = mac_graph()
+        assert g.critical_path_delay() == pytest.approx(4.0)  # mul 3 + add 1
+        # uniform table: input -> mul -> add -> output = 4 unit delays
+        assert g.critical_path_delay({k: 1.0 for k in OpKind}) == 4.0
+
+    def test_topological_order_is_insertion_order(self):
+        g = mac_graph()
+        order = g.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for op in g:
+            for arg in op.args:
+                assert pos[arg] < pos[op.name]
+
+
+class TestEvaluate:
+    def test_mac(self):
+        g = mac_graph()
+        assert g.evaluate({"a": 3, "b": 4, "c": 5}) == {"y": 17}
+
+    def test_missing_input_raises(self):
+        g = mac_graph()
+        with pytest.raises(KeyError):
+            g.evaluate({"a": 1, "b": 2})
+
+    def test_division_by_zero_raises(self):
+        g = CDFG()
+        a, b = g.inp("a"), g.inp("b")
+        g.out("q", g.div(a, b))
+        with pytest.raises(ZeroDivisionError):
+            g.evaluate({"a": 1, "b": 0})
+
+    def test_division_truncates_toward_zero(self):
+        g = CDFG()
+        a, b = g.inp("a"), g.inp("b")
+        g.out("q", g.div(a, b))
+        minus7 = (-7) & MASK32
+        assert _signed(g.evaluate({"a": minus7, "b": 2})["q"]) == -3
+
+    def test_mux_selects(self):
+        g = CDFG()
+        c, a, b = g.inp("c"), g.inp("a"), g.inp("b")
+        g.out("y", g.mux(c, a, b))
+        assert g.evaluate({"c": 1, "a": 10, "b": 20})["y"] == 10
+        assert g.evaluate({"c": 0, "a": 10, "b": 20})["y"] == 20
+
+    def test_load_store_memory(self):
+        g = CDFG()
+        addr, val = g.inp("addr"), g.inp("val")
+        stored = g.add_op(OpKind.STORE, (addr, val))
+        g.out("echo", stored)
+        g2 = CDFG()
+        a2 = g2.inp("addr")
+        g2.out("got", g2.add_op(OpKind.LOAD, (a2,)))
+        mem = {}
+        g.evaluate({"addr": 100, "val": 42}, memory=mem)
+        assert mem[100] == 42
+        assert g2.evaluate({"addr": 100}, memory=mem)["got"] == 42
+        assert g2.evaluate({"addr": 101}, memory=mem)["got"] == 0
+
+    def test_signed_comparisons(self):
+        g = CDFG()
+        a, b = g.inp("a"), g.inp("b")
+        g.out("lt", g.lt(a, b))
+        minus1 = (-1) & MASK32
+        assert g.evaluate({"a": minus1, "b": 0})["lt"] == 1
+        assert g.evaluate({"a": 0, "b": minus1})["lt"] == 0
+
+    @given(a=words, b=words)
+    def test_add_matches_modular_arithmetic(self, a, b):
+        g = CDFG()
+        x, y = g.inp("x"), g.inp("y")
+        g.out("s", g.add(x, y))
+        assert g.evaluate({"x": a, "y": b})["s"] == (a + b) & MASK32
+
+    @given(a=words, b=words)
+    def test_sub_then_add_roundtrips(self, a, b):
+        g = CDFG()
+        x, y = g.inp("x"), g.inp("y")
+        g.out("r", g.add(g.sub(x, y), y))
+        assert g.evaluate({"x": a, "y": b})["r"] == a
+
+    @given(a=words)
+    def test_double_negation_is_identity(self, a):
+        g = CDFG()
+        x = g.inp("x")
+        g.out("r", g.neg(g.neg(x)))
+        assert g.evaluate({"x": a})["r"] == a
+
+    @given(a=words, sh=st.integers(min_value=0, max_value=31))
+    def test_shift_right_matches_logical(self, a, sh):
+        g = CDFG()
+        x, s = g.inp("x"), g.inp("s")
+        g.out("r", g.shr(x, s))
+        assert g.evaluate({"x": a, "s": sh})["r"] == (a >> sh)
+
+    @given(a=words, b=words)
+    def test_xor_is_involutive(self, a, b):
+        g = CDFG()
+        x, y = g.inp("x"), g.inp("y")
+        g.out("r", g.bxor(g.bxor(x, y), y))
+        assert g.evaluate({"x": a, "y": b})["r"] == a
+
+
+class TestSigned:
+    def test_signed_boundaries(self):
+        assert _signed(0) == 0
+        assert _signed(0x7FFFFFFF) == 2**31 - 1
+        assert _signed(0x80000000) == -(2**31)
+        assert _signed(MASK32) == -1

@@ -1,0 +1,107 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import generators as gen
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = gen.random_layered_graph(random.Random(7), n_tasks=15)
+        b = gen.random_layered_graph(random.Random(7), n_tasks=15)
+        assert a.task_names == b.task_names
+        assert [(e.src, e.dst, e.volume) for e in a.edges] == [
+            (e.src, e.dst, e.volume) for e in b.edges
+        ]
+        assert [t.sw_time for t in a] == [t.sw_time for t in b]
+
+    def test_different_seeds_differ(self):
+        a = gen.random_layered_graph(random.Random(1), n_tasks=15)
+        b = gen.random_layered_graph(random.Random(2), n_tasks=15)
+        assert [t.sw_time for t in a] != [t.sw_time for t in b]
+
+
+class TestShapes:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10**6), n=st.integers(1, 40))
+    def test_layered_graph_is_valid_dag_of_requested_size(self, seed, n):
+        g = gen.random_layered_graph(random.Random(seed), n_tasks=n)
+        assert len(g) == n
+        g.validate()
+
+    def test_layered_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            gen.random_layered_graph(random.Random(0), n_tasks=0)
+
+    def test_pipeline_is_a_chain(self):
+        g = gen.pipeline_graph(random.Random(0), n_stages=5)
+        assert len(g) == 5
+        assert len(g.edges) == 4
+        assert g.width() == 1
+
+    def test_fork_join_shape(self):
+        g = gen.fork_join_graph(random.Random(0), n_branches=4, branch_len=2)
+        assert len(g) == 2 + 4 * 2
+        assert g.sources() == ["fork"]
+        assert g.sinks() == ["join"]
+        assert g.width() == 4
+
+    def test_tree_shape(self):
+        g = gen.tree_graph(random.Random(0), depth=3, fanout=2)
+        assert len(g) == 1 + 2 + 4 + 8
+        assert len(g.sinks()) == 8
+
+    def test_series_parallel_valid(self):
+        g = gen.series_parallel_graph(random.Random(3), n_expansions=10)
+        g.validate()
+        assert len(g) == 12
+
+
+class TestSkewedWorkloads:
+    def test_communication_skew_creates_hot_edges(self):
+        g = gen.communication_skewed_graph(
+            random.Random(5), n_tasks=12, hot_pairs=3, hot_volume=200.0
+        )
+        hot = [e for e in g.edges if e.volume > 100.0]
+        assert len(hot) == 3
+
+    def test_parallelism_skew_creates_fast_hw_tasks(self):
+        g = gen.parallelism_skewed_graph(
+            random.Random(5), n_tasks=12, n_parallel=3
+        )
+        fast = [t for t in g if t.parallelism >= 16.0]
+        assert len(fast) == 3
+        for t in fast:
+            assert t.sw_time / t.hw_time == pytest.approx(t.parallelism)
+
+
+class TestPeriodicTaskset:
+    def test_utilization_is_respected(self):
+        g = gen.periodic_taskset(
+            random.Random(9), n_tasks=14, period=100.0, utilization=0.6
+        )
+        assert g.total_time("sw") == pytest.approx(60.0)
+        for t in g:
+            assert t.period == 100.0
+            assert t.deadline == 100.0
+
+    def test_scaling_preserves_speedups(self):
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        raw = gen.random_layered_graph(rng_a, n_tasks=14, name="periodic")
+        scaled = gen.periodic_taskset(rng_b, n_tasks=14, period=100.0)
+        for t_raw, t_scaled in zip(raw, scaled):
+            assert t_raw.speedup == pytest.approx(t_scaled.speedup)
+
+
+class TestCostModel:
+    def test_make_task_within_ranges(self):
+        model = gen.TaskCostModel()
+        rng = random.Random(0)
+        for i in range(50):
+            t = model.make_task(rng, f"t{i}")
+            assert model.sw_time[0] <= t.sw_time <= model.sw_time[1]
+            assert model.hw_speedup[0] <= t.speedup <= model.hw_speedup[1] + 1e-9
+            assert 0.0 <= t.modifiability <= 1.0

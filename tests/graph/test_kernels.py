@@ -1,0 +1,241 @@
+"""Tests for the DSP kernel library — each kernel is checked against an
+independent pure-Python model of its mathematics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import kernels
+from repro.graph.cdfg import MASK32, _signed
+
+small = st.integers(min_value=-1000, max_value=1000)
+
+
+def u32(x: int) -> int:
+    return x & MASK32
+
+
+class TestFir:
+    @given(xs=st.lists(small, min_size=8, max_size=8),
+           cs=st.lists(small, min_size=8, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_fir8_matches_dot_product(self, xs, cs):
+        g = kernels.fir(8)
+        inputs = {f"x{i}": u32(x) for i, x in enumerate(xs)}
+        inputs.update({f"c{i}": u32(c) for i, c in enumerate(cs)})
+        expect = u32(sum(c * x for c, x in zip(cs, xs)))
+        assert g.evaluate(inputs)["y"] == expect
+
+    def test_fir_tap_counts(self):
+        for n in (1, 3, 8, 16):
+            g = kernels.fir(n)
+            assert len(g.inputs()) == 2 * n
+            from repro.graph.cdfg import OpKind
+
+            assert g.op_histogram()[OpKind.MUL] == n
+
+    def test_fir_rejects_zero_taps(self):
+        with pytest.raises(ValueError):
+            kernels.fir(0)
+
+    def test_fir_adder_tree_is_logarithmic(self):
+        assert kernels.fir(16).depth() == 5  # 1 mul + 4 adder levels
+
+
+class TestBiquad:
+    @given(x=small, x1=small, x2=small, y1=small, y2=small)
+    @settings(max_examples=20, deadline=None)
+    def test_biquad_matches_formula(self, x, x1, x2, y1, y2):
+        b0, b1, b2, a1, a2 = 3, -2, 5, 1, -4
+        g = kernels.iir_biquad()
+        inputs = {k: u32(v) for k, v in dict(
+            x=x, x1=x1, x2=x2, y1=y1, y2=y2, b0=b0, b1=b1, b2=b2, a1=a1, a2=a2
+        ).items()}
+        expect = u32(b0 * x + b1 * x1 + b2 * x2 - a1 * y1 - a2 * y2)
+        assert g.evaluate(inputs)["y"] == expect
+
+
+class TestButterfly:
+    @given(ar=small, ai=small, br=small, bi=small, wr=small, wi=small)
+    @settings(max_examples=20, deadline=None)
+    def test_butterfly_matches_complex_math(self, ar, ai, br, bi, wr, wi):
+        g = kernels.fft_butterfly()
+        inputs = {k: u32(v) for k, v in dict(
+            ar=ar, ai=ai, br=br, bi=bi, wr=wr, wi=wi
+        ).items()}
+        t = complex(wr, wi) * complex(br, bi)
+        out = g.evaluate(inputs)
+        assert out["xr"] == u32(ar + int(t.real))
+        assert out["xi"] == u32(ai + int(t.imag))
+        assert out["yr"] == u32(ar - int(t.real))
+        assert out["yi"] == u32(ai - int(t.imag))
+
+
+class TestEwf:
+    def test_op_mix_matches_published_benchmark(self):
+        from repro.graph.cdfg import OpKind
+
+        g = kernels.elliptic_wave_filter()
+        hist = g.op_histogram()
+        assert hist[OpKind.MUL] == 8
+        assert hist[OpKind.ADD] == 26
+
+    def test_all_state_outputs_present(self):
+        g = kernels.elliptic_wave_filter()
+        names = {o.name for o in g.outputs()}
+        assert names == {
+            "sv2_next", "sv13_next", "sv18_next", "sv26_next",
+            "sv33_next", "sv38_next", "sv39_next", "y",
+        }
+
+    def test_deterministic_evaluation(self):
+        g = kernels.elliptic_wave_filter()
+        inputs = {o.name: i + 1 for i, o in enumerate(g.inputs())}
+        assert g.evaluate(inputs) == g.evaluate(inputs)
+
+
+class TestDct:
+    @given(xs=st.lists(small, min_size=4, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_dct4_y0_is_sum(self, xs):
+        g = kernels.dct4()
+        inputs = {f"x{i}": u32(x) for i, x in enumerate(xs)}
+        inputs.update({"c1": 2, "c2": 3, "c3": 4})
+        out = g.evaluate(inputs)
+        assert out["y0"] == u32(sum(xs))
+        assert out["y2"] == u32(((xs[0] + xs[3]) - (xs[1] + xs[2])) * 3)
+
+
+class TestCrc:
+    def crc_ref(self, crc: int, byte: int) -> int:
+        acc = (crc ^ byte) & MASK32
+        for _ in range(8):
+            if acc & 1:
+                acc = (acc >> 1) ^ 0xEDB88320
+            else:
+                acc >>= 1
+        return acc
+
+    @given(crc=st.integers(0, MASK32), byte=st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_crc_step_matches_reference(self, crc, byte):
+        g = kernels.crc_step()
+        assert g.evaluate({"crc": crc, "byte": byte})["crc_next"] == \
+            self.crc_ref(crc, byte)
+
+
+class TestMatmul:
+    @given(vals=st.lists(small, min_size=8, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul2_matches_numpy(self, vals):
+        import numpy as np
+
+        a = np.array(vals[:4]).reshape(2, 2)
+        b = np.array(vals[4:]).reshape(2, 2)
+        c = a @ b
+        g = kernels.matmul2()
+        inputs = {}
+        for i in range(2):
+            for j in range(2):
+                inputs[f"a{i}{j}"] = u32(int(a[i, j]))
+                inputs[f"b{i}{j}"] = u32(int(b[i, j]))
+        out = g.evaluate(inputs)
+        for i in range(2):
+            for j in range(2):
+                assert out[f"c{i}{j}"] == u32(int(c[i, j]))
+
+
+class TestHistogramBin:
+    @given(x=small, lo=small, hi=small, count=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_count_increments_iff_in_range(self, x, lo, hi, count):
+        g = kernels.histogram_bin()
+        out = g.evaluate(
+            {"x": u32(x), "lo": u32(lo), "hi": u32(hi), "count": count}
+        )
+        expect = count + 1 if lo <= x < hi else count
+        assert _signed(out["count_next"]) == expect
+
+
+class TestViterbiAcs:
+    @given(pm0=st.integers(0, 1000), pm1=st.integers(0, 1000),
+           bm0=st.integers(0, 100), bm1=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_acs_keeps_minimum_path(self, pm0, pm1, bm0, bm1):
+        g = kernels.viterbi_acs()
+        out = g.evaluate({"pm0": pm0, "pm1": pm1, "bm0": bm0, "bm1": bm1})
+        assert out["pm_even"] == min(pm0 + bm0, pm1 + bm1)
+        assert out["pm_odd"] == min(pm0 + bm1, pm1 + bm0)
+        assert out["dec_even"] == int(pm1 + bm1 < pm0 + bm0)
+
+    def test_acs_operand_reuse_blocks_fusion(self):
+        """The full ACS exports its decision bits, so every intermediate
+        has multiple consumers — a two-operand custom instruction cannot
+        cover it (a real limitation the miner must respect)."""
+        from repro.asip.custom import mine_candidates
+
+        assert mine_candidates({"acs": (kernels.viterbi_acs(), 1.0)}) == []
+
+    def test_pure_min_select_mines_compare_select(self):
+        """Without the exported decision bit, compare+select fuses into
+        the classic 'min' custom instruction."""
+        from repro.asip.custom import mine_candidates
+        from repro.graph.cdfg import CDFG, MASK32
+
+        g = CDFG("minsel")
+        a, b = g.inp("a"), g.inp("b")
+        g.out("m", g.mux(g.lt(a, b), a, b))
+        cands = mine_candidates({"minsel": (g, 1.0)})
+        assert [(c.key[0], c.key[1]) for c in cands] == [("lt", "mux")]
+        assert cands[0].semantics(3, 9) == 3
+        assert cands[0].semantics(9, 3) == 3
+
+
+class TestLms:
+    @given(mu_e=st.integers(-100, 100),
+           taps=st.lists(st.tuples(small, small), min_size=4, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_lms_update_formula(self, mu_e, taps):
+        g = kernels.lms_update(4)
+        inputs = {"mu_e": u32(mu_e)}
+        for i, (w, x) in enumerate(taps):
+            inputs[f"w{i}"] = u32(w)
+            inputs[f"x{i}"] = u32(x)
+        out = g.evaluate(inputs)
+        for i, (w, x) in enumerate(taps):
+            assert out[f"w{i}_next"] == u32(w + mu_e * x)
+
+    def test_lms_rejects_zero_taps(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            kernels.lms_update(0)
+
+
+class TestTaskGraphKernels:
+    def test_jpeg_pipeline_structure(self):
+        g = kernels.jpeg_encoder_taskgraph()
+        g.validate()
+        assert g.sources() == ["rgb2ycc"]
+        assert g.sinks() == ["huffman"]
+        assert g.width() == 1
+
+    def test_jpeg_nature_of_computation(self):
+        g = kernels.jpeg_encoder_taskgraph()
+        # DCT is the hardware-affine stage; huffman the software-affine one
+        assert g.task("dct2d").speedup > g.task("huffman").speedup
+        assert g.task("huffman").modifiability > g.task("dct2d").modifiability
+
+    def test_modem_has_parallel_arms(self):
+        g = kernels.modem_taskgraph()
+        g.validate()
+        assert g.width() == 2
+
+    def test_all_registries_build(self):
+        for make in kernels.ALL_CDFG_KERNELS.values():
+            cdfg = make()
+            assert len(cdfg) > 0
+        for make in kernels.ALL_TASKGRAPH_KERNELS.values():
+            tg = make()
+            tg.validate()

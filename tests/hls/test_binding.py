@@ -1,0 +1,113 @@
+"""Tests for FU binding and register allocation."""
+
+import pytest
+
+from repro.graph import kernels
+from repro.graph.cdfg import CDFG
+from repro.hls.binding import bind, bind_fus, bind_registers, value_lifetimes
+from repro.hls.scheduling import asap, list_schedule
+
+
+class TestFuBinding:
+    def test_instance_count_equals_peak_usage(self):
+        g = kernels.fir(8)
+        sched = list_schedule(g, {"adder": 2, "multiplier": 3})
+        fus, fu_of = bind_fus(sched)
+        usage = sched.resource_usage()
+        by_comp = {}
+        for fu in fus:
+            by_comp[fu.component] = by_comp.get(fu.component, 0) + 1
+        for comp, peak in usage.items():
+            assert by_comp[comp] == peak
+
+    def test_every_compute_op_bound(self):
+        g = kernels.elliptic_wave_filter()
+        sched = list_schedule(g, {"adder": 2, "multiplier": 1})
+        _fus, fu_of = bind_fus(sched)
+        assert set(fu_of) == {o.name for o in g.compute_ops()}
+
+    def test_no_two_ops_overlap_on_one_fu(self):
+        g = kernels.elliptic_wave_filter()
+        sched = list_schedule(g, {"adder": 2, "multiplier": 2})
+        fus, _fu_of = bind_fus(sched)
+        for fu in fus:
+            intervals = sorted(
+                (sched.starts[n], sched.finish(n)) for n in fu.ops
+            )
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                assert f1 <= s2, f"overlap on {fu.name}"
+
+
+class TestLifetimes:
+    def test_lifetimes_span_producer_to_last_consumer(self):
+        g = CDFG("lt")
+        a, b = g.inp("a"), g.inp("b")
+        m = g.mul(a, b)
+        s = g.add(m, a)
+        g.out("y", s)
+        sched = asap(g)
+        lt = value_lifetimes(sched)
+        assert lt[m] == (sched.finish(m), sched.starts[s])
+        # 'a' is consumed by both mul and add
+        assert lt["a"] == (0, sched.starts[s])
+
+    def test_constants_not_register_resident(self):
+        g = CDFG("k")
+        x = g.inp("x")
+        k = g.const(5)
+        g.out("y", g.add(x, k))
+        lt = value_lifetimes(asap(g))
+        assert k not in lt
+
+    def test_unused_values_have_no_lifetime(self):
+        g = CDFG("dead")
+        x = g.inp("x")
+        g.inp("unused")
+        g.out("y", g.add(x, x))
+        lt = value_lifetimes(asap(g))
+        assert "unused" not in lt
+
+
+class TestRegisterAllocation:
+    def test_non_overlapping_values_share_registers(self):
+        g = kernels.elliptic_wave_filter()
+        sched = list_schedule(g, {"adder": 1, "multiplier": 1})
+        regs, reg_of = bind_registers(sched)
+        n_values = len(value_lifetimes(sched))
+        assert len(regs) < n_values  # sharing must happen on a long chain
+
+    def test_packed_values_never_overlap(self):
+        g = kernels.elliptic_wave_filter()
+        sched = list_schedule(g, {"adder": 2, "multiplier": 1})
+        regs, _reg_of = bind_registers(sched)
+        lifetimes = value_lifetimes(sched)
+        for reg in regs:
+            spans = sorted(lifetimes[v] for v in reg.values)
+            for (b1, d1), (b2, d2) in zip(spans, spans[1:]):
+                assert d1 < b2, f"register {reg.name} double-booked"
+
+    def test_every_live_value_gets_a_register(self):
+        g = kernels.dct4()
+        sched = asap(g)
+        _regs, reg_of = bind_registers(sched)
+        assert set(reg_of) == set(value_lifetimes(sched))
+
+
+class TestFullBinding:
+    def test_bind_combines_both(self):
+        g = kernels.iir_biquad()
+        sched = asap(g)
+        binding = bind(sched)
+        assert binding.n_fus > 0
+        assert binding.n_registers > 0
+        op = g.compute_ops()[0].name
+        assert binding.fu(op).component in (
+            "adder", "fast_adder", "multiplier", "fast_multiplier",
+            "logic_unit",
+        )
+
+    def test_serial_schedule_uses_fewer_fus(self):
+        g = kernels.fir(8)
+        rich = bind(list_schedule(g, {"adder": 8, "multiplier": 8}))
+        poor = bind(list_schedule(g, {"adder": 1, "multiplier": 1}))
+        assert poor.n_fus < rich.n_fus

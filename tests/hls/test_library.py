@@ -1,0 +1,92 @@
+"""Tests for the RTL component library."""
+
+import pytest
+
+from repro.graph.cdfg import OpKind
+from repro.hls.library import (
+    Component,
+    ComponentLibrary,
+    controller_area,
+    default_library,
+    mux_area,
+    register_area,
+)
+
+
+class TestComponent:
+    def test_latency_cycles_ceiling(self):
+        comp = Component("x", frozenset({OpKind.MUL}), area=1.0, delay=16.0)
+        assert comp.latency_cycles(10.0) == 2
+        assert comp.latency_cycles(16.0) == 1
+        assert comp.latency_cycles(100.0) == 1  # never zero
+
+    def test_executes(self):
+        comp = Component("x", frozenset({OpKind.ADD}), 1.0, 1.0)
+        assert comp.executes(OpKind.ADD)
+        assert not comp.executes(OpKind.MUL)
+
+
+class TestLibrary:
+    def test_default_library_covers_all_compute_kinds(self):
+        lib = default_library()
+        supported = lib.supported_kinds()
+        for kind in OpKind:
+            if kind.is_compute:
+                assert kind in supported, kind
+
+    def test_cheapest_and_fastest_differ_for_adders(self):
+        lib = default_library()
+        assert lib.cheapest(OpKind.ADD).name == "adder"
+        assert lib.fastest(OpKind.ADD).name == "fast_adder"
+
+    def test_candidates_sorted_by_area(self):
+        lib = default_library()
+        cands = lib.candidates(OpKind.MUL)
+        areas = [c.area for c in cands]
+        assert areas == sorted(areas)
+
+    def test_unknown_kind_raises(self):
+        lib = ComponentLibrary([
+            Component("adder", frozenset({OpKind.ADD}), 1.0, 1.0)
+        ])
+        with pytest.raises(KeyError):
+            lib.cheapest(OpKind.MUL)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentLibrary([])
+
+    def test_duplicate_names_rejected(self):
+        comp = Component("a", frozenset({OpKind.ADD}), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ComponentLibrary([comp, comp])
+
+    def test_component_lookup(self):
+        lib = default_library()
+        assert lib.component("divider").area == 520.0
+        with pytest.raises(KeyError):
+            lib.component("ghost")
+
+    def test_cost_ratios_are_sane(self):
+        """A multiplier should cost several adders; a divider several
+        multipliers — the ratios that drive partitioning trade-offs."""
+        lib = default_library()
+        adder = lib.component("adder").area
+        mult = lib.component("multiplier").area
+        div = lib.component("divider").area
+        assert 3 * adder < mult < div
+
+
+class TestAreaModels:
+    def test_register_area_linear(self):
+        assert register_area(0) == 0.0
+        assert register_area(4) == 2 * register_area(2)
+
+    def test_mux_area_zero_for_single_source(self):
+        assert mux_area(1) == 0.0
+        assert mux_area(0) == 0.0
+        assert mux_area(4) > mux_area(2) > 0
+
+    def test_controller_area_grows_with_states_and_signals(self):
+        assert controller_area(10, 5) > controller_area(5, 5)
+        assert controller_area(5, 10) > controller_area(5, 5)

@@ -1,0 +1,167 @@
+"""Tests for ASAP/ALAP, list, and force-directed scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import kernels
+from repro.graph.cdfg import CDFG
+from repro.hls.library import default_library
+from repro.hls.scheduling import (
+    SchedulingError,
+    alap,
+    asap,
+    force_directed,
+    list_schedule,
+)
+
+KERNELS = sorted(kernels.ALL_CDFG_KERNELS)
+
+
+def mac_chain(n=4):
+    g = CDFG("chain")
+    acc = g.inp("x0")
+    for i in range(1, n + 1):
+        acc = g.add(acc, g.mul(g.inp(f"a{i}"), g.inp(f"b{i}")))
+    g.out("y", acc)
+    return g
+
+
+class TestAsapAlap:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_asap_is_feasible_for_all_kernels(self, name):
+        sched = asap(kernels.ALL_CDFG_KERNELS[name]())
+        sched.verify()
+        assert sched.length >= 1
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_alap_matches_asap_length_at_tight_bound(self, name):
+        g = kernels.ALL_CDFG_KERNELS[name]()
+        a = asap(g)
+        l = alap(g)
+        assert l.length <= a.length
+        l.verify()
+
+    def test_alap_pushes_ops_late(self):
+        g = mac_chain(3)
+        early = asap(g)
+        late = alap(g, latency_bound=early.length + 5)
+        # at least one op starts strictly later under ALAP
+        assert any(
+            late.starts[op.name] > early.starts[op.name]
+            for op in g.compute_ops()
+        )
+
+    def test_alap_below_critical_path_rejected(self):
+        g = mac_chain(3)
+        with pytest.raises(SchedulingError):
+            alap(g, latency_bound=1)
+
+    def test_asap_multicycle_ops_respected(self):
+        g = CDFG("mc")
+        a, b = g.inp("a"), g.inp("b")
+        m = g.mul(a, b)  # multiplier: 16ns -> 2 cycles at 10ns
+        g.out("y", g.add(m, a))
+        sched = asap(g, cycle_time=10.0)
+        assert sched.latencies[m] == 2
+        add_op = next(o.name for o in g.compute_ops() if o.name != m)
+        assert sched.starts[add_op] >= 2
+
+
+class TestListScheduling:
+    def test_respects_resource_limits(self):
+        g = kernels.fir(8)  # 8 multiplies
+        sched = list_schedule(g, {"adder": 1, "multiplier": 2})
+        sched.verify()
+        usage = sched.resource_usage()
+        assert usage.get("multiplier", 0) <= 2
+        assert usage.get("adder", 0) <= 1
+
+    def test_fewer_resources_longer_schedule(self):
+        g = kernels.fir(8)
+        rich = list_schedule(g, {"adder": 8, "multiplier": 8})
+        poor = list_schedule(g, {"adder": 1, "multiplier": 1})
+        assert poor.length > rich.length
+
+    def test_rich_resources_match_asap(self):
+        g = kernels.elliptic_wave_filter()
+        rich = list_schedule(g, {"adder": 30, "multiplier": 10})
+        assert rich.length == asap(g).length
+
+    def test_missing_resource_type_rejected(self):
+        g = kernels.fir(4)
+        with pytest.raises(SchedulingError):
+            list_schedule(g, {"adder": 2})  # no multiplier
+
+    def test_can_mix_component_flavours(self):
+        g = kernels.fir(8)
+        sched = list_schedule(
+            g, {"adder": 1, "fast_adder": 1, "multiplier": 2}
+        )
+        sched.verify()
+        used = set(sched.assignment.values())
+        assert "fast_adder" in used or "adder" in used
+
+    @settings(max_examples=10, deadline=None)
+    @given(adders=st.integers(1, 4), mults=st.integers(1, 4))
+    def test_resource_usage_never_exceeds_limits(self, adders, mults):
+        g = kernels.elliptic_wave_filter()
+        sched = list_schedule(g, {"adder": adders, "multiplier": mults})
+        usage = sched.resource_usage()
+        assert usage.get("adder", 0) <= adders
+        assert usage.get("multiplier", 0) <= mults
+
+
+class TestForceDirected:
+    def test_meets_latency_bound(self):
+        g = kernels.elliptic_wave_filter()
+        base = asap(g).length
+        sched = force_directed(g, latency_bound=base + 6)
+        sched.verify()
+        assert sched.length <= base + 6
+
+    def test_reduces_resources_vs_asap(self):
+        g = kernels.fir(8)
+        base = asap(g)
+        relaxed = force_directed(g, latency_bound=base.length * 2)
+        assert (
+            relaxed.resource_usage().get("multiplier", 9)
+            < base.resource_usage().get("multiplier", 0)
+        )
+
+    def test_tight_bound_equals_asap_length(self):
+        g = kernels.dct4()
+        sched = force_directed(g)
+        assert sched.length == asap(g).length
+
+    @pytest.mark.parametrize("name", ["ewf", "fir8", "dct4", "biquad"])
+    def test_feasible_on_kernels(self, name):
+        g = kernels.ALL_CDFG_KERNELS[name]()
+        sched = force_directed(g, latency_bound=asap(g).length + 4)
+        sched.verify()
+
+
+class TestScheduleQueries:
+    def test_ops_active_at(self):
+        g = mac_chain(2)
+        sched = asap(g)
+        active0 = sched.ops_active_at(0)
+        assert len(active0) >= 1
+        all_active = set()
+        for step in range(sched.length):
+            all_active.update(sched.ops_active_at(step))
+        assert all_active == {o.name for o in g.compute_ops()}
+
+    def test_verify_catches_violation(self):
+        g = mac_chain(1)
+        sched = asap(g)
+        # corrupt: move an op before its operand
+        victim = [o.name for o in g.compute_ops()][-1]
+        sched.starts[victim] = 0
+        with pytest.raises(SchedulingError):
+            sched.verify()
+
+    def test_empty_graph(self):
+        g = CDFG("empty")
+        sched = asap(g)
+        assert sched.length == 0
+        assert sched.latency_ns == 0.0

@@ -1,0 +1,133 @@
+"""End-to-end HLS tests: datapath, controller, co-verification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import kernels
+from repro.graph.cdfg import CDFG, MASK32
+from repro.hls.library import default_library
+from repro.hls.scheduling import SchedulingError
+from repro.hls.synthesize import HlsConstraints, explore, synthesize
+
+KERNELS = sorted(kernels.ALL_CDFG_KERNELS)
+
+
+class TestCoVerification:
+    """The hardware implementation must match the CDFG reference —
+    and therefore the generated software (tested in tests/isa)."""
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_datapath_simulation_matches_reference(self, name):
+        g = kernels.ALL_CDFG_KERNELS[name]()
+        result = synthesize(g)
+        inputs = {o.name: (i * 7 + 3) % 251 for i, o in enumerate(g.inputs())}
+        assert result.simulate(dict(inputs)) == g.evaluate(dict(inputs))
+
+    @pytest.mark.parametrize("scheduler,extra", [
+        ("asap", {}),
+        ("list", {"resources": {"adder": 2, "multiplier": 1,
+                                "logic_unit": 1, "divider": 1,
+                                "mem_port": 1}}),
+        ("force", {"latency_bound": None}),
+    ])
+    def test_all_schedulers_functionally_equivalent(self, scheduler, extra):
+        g = kernels.elliptic_wave_filter()
+        result = synthesize(g, HlsConstraints(scheduler=scheduler, **extra))
+        inputs = {o.name: i + 1 for i, o in enumerate(g.inputs())}
+        assert result.simulate(dict(inputs)) == g.evaluate(dict(inputs))
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_hw_sw_equivalence_random_vectors(self, seed):
+        """Hardware (HLS datapath) and software (R32 code) agree."""
+        import random
+
+        from repro.isa.codegen import compile_cdfg
+
+        rng = random.Random(seed)
+        g = kernels.fft_butterfly()
+        inputs = {o.name: rng.randrange(0, 1 << 12) for o in g.inputs()}
+        hw = synthesize(g).simulate(dict(inputs))
+        sw, _cycles = compile_cdfg(g).run(dict(inputs))
+        assert hw == sw
+
+
+class TestAreaAndLatency:
+    def test_asap_faster_but_bigger_than_constrained(self):
+        g = kernels.fir(16)
+        fast = synthesize(g)
+        slow = synthesize(g, HlsConstraints(
+            scheduler="list",
+            resources={"adder": 1, "multiplier": 1},
+        ))
+        assert fast.latency_cycles < slow.latency_cycles
+        assert fast.area > slow.area
+
+    def test_area_breakdown_sums_to_total(self):
+        g = kernels.iir_biquad()
+        result = synthesize(g)
+        breakdown = result.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(result.area)
+        assert set(breakdown) == {"fu", "register", "mux", "controller"}
+
+    def test_sharing_adds_muxes(self):
+        g = kernels.fir(8)
+        shared = synthesize(g, HlsConstraints(
+            scheduler="list",
+            resources={"adder": 1, "multiplier": 1},
+        ))
+        unshared = synthesize(g)
+        assert shared.datapath.mux_area > unshared.datapath.mux_area
+
+    def test_latency_ns_consistent(self):
+        g = kernels.dct4()
+        result = synthesize(g, HlsConstraints(cycle_time=20.0))
+        assert result.latency_ns == result.latency_cycles * 20.0
+
+
+class TestController:
+    def test_one_state_per_step(self):
+        g = kernels.iir_biquad()
+        result = synthesize(g)
+        assert result.controller.n_states == max(result.latency_cycles, 1)
+
+    def test_states_carry_fu_activity(self):
+        g = kernels.dct4()
+        result = synthesize(g)
+        started = [
+            op for state in result.controller.states
+            for op in state.fu_ops.values()
+        ]
+        assert sorted(started) == sorted(
+            o.name for o in g.compute_ops()
+        )
+
+    def test_controller_area_positive(self):
+        result = synthesize(kernels.dct4())
+        assert result.controller.area > 0
+
+
+class TestExploration:
+    def test_explore_produces_area_latency_tradeoff(self):
+        g = kernels.elliptic_wave_filter()
+        results = explore(g)
+        assert len(results) >= 3
+        latencies = [r.latency_cycles for r in results]
+        assert latencies == sorted(latencies)
+        # relaxing latency must eventually reduce FU area
+        fu_areas = [r.datapath.fu_area for r in results]
+        assert min(fu_areas[1:]) < fu_areas[0]
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SchedulingError):
+            synthesize(kernels.dct4(), HlsConstraints(scheduler="magic"))
+
+    def test_list_without_resources_rejected(self):
+        with pytest.raises(SchedulingError):
+            synthesize(kernels.dct4(), HlsConstraints(scheduler="list"))
+
+    def test_summary_mentions_key_numbers(self):
+        result = synthesize(kernels.iir_biquad())
+        text = result.summary()
+        assert "biquad" in text
+        assert "steps" in text and "area" in text

@@ -1,0 +1,47 @@
+"""Every shipped example must run to completion, cleanly.
+
+Examples are the public face of the library; this test keeps them from
+rotting as the API evolves.  Each runs in a subprocess with a generous
+timeout and must exit 0 with the output markers its narrative promises.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["speedup over all-software", "cost breakdown"],
+    "coprocessor_codesign.py": ["PASS", "vulcan"],
+    "multiprocessor_synthesis.py": ["deadline", "binpack"],
+    "asip_exploration.py": ["speedup", "reconfigurable"],
+    "cosim_abstraction_ladder.py": ["PASS", "pin"],
+    "embedded_interface.py": ["UART transmitted", "timer interrupts:  3"],
+    "executable_spec_refinement.py": ["step 1", "hardware: yes"],
+    "mixed_system.py": ["Mixed Type I / Type II", "matches"],
+}
+
+
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_MARKERS), (
+        "examples on disk and the marker table disagree"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+def test_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[name]:
+        assert marker in proc.stdout, (
+            f"{name}: expected {marker!r} in output"
+        )

@@ -1,0 +1,163 @@
+"""Cross-module invariants checked on random workloads."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cosynth import Allocation, schedule_on
+from repro.cosynth.multiproc.library import execution_time
+from repro.estimate.communication import CommModel, TIGHT
+from repro.estimate.software import default_processor_library
+from repro.graph.generators import random_layered_graph
+from repro.partition.evaluate import evaluate_partition
+from repro.partition.problem import PartitionProblem
+
+LIB = default_processor_library()
+NO_COMM = CommModel(sync_overhead_ns=0.0, word_time_ns=0.0)
+
+
+def graph_for(seed, n=10):
+    return random_layered_graph(random.Random(seed), n_tasks=n)
+
+
+class TestPartitionEvaluationInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**6), hw_seed=st.integers(0, 10**6))
+    def test_latency_bounds(self, seed, hw_seed):
+        """Any partition's latency sits between the all-fast critical
+        path (no comm) and the all-slow serial sum (plus comm)."""
+        graph = graph_for(seed)
+        rng = random.Random(hw_seed)
+        hw = frozenset(
+            n for n in graph.task_names if rng.random() < 0.5
+        )
+        problem = PartitionProblem(graph, comm=TIGHT, hw_parallelism=None)
+        ev = evaluate_partition(problem, hw)
+        lower = graph.critical_path("min")[0]
+        upper = graph.total_time("sw") + ev.comm_ns
+        assert lower - 1e-6 <= ev.latency_ns <= upper + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**6), hw_seed=st.integers(0, 10**6))
+    def test_comm_matches_cut_cost(self, seed, hw_seed):
+        """The evaluator's charged communication equals the analytic cut
+        cost of the communication model — they must never drift."""
+        graph = graph_for(seed)
+        rng = random.Random(hw_seed)
+        hw = frozenset(
+            n for n in graph.task_names if rng.random() < 0.5
+        )
+        problem = PartitionProblem(graph, comm=TIGHT)
+        ev = evaluate_partition(problem, hw)
+        assert ev.comm_ns == pytest.approx(
+            problem.comm.cut_cost(graph, hw)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_more_hw_parallelism_never_hurts(self, seed):
+        graph = graph_for(seed)
+        hw = frozenset(graph.task_names)
+        latencies = []
+        for k in (1, 2, None):
+            problem = PartitionProblem(graph, comm=NO_COMM,
+                                       hw_parallelism=k)
+            latencies.append(evaluate_partition(problem, hw).latency_ns)
+        assert latencies[0] >= latencies[1] - 1e-9
+        assert latencies[1] >= latencies[2] - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_busy_times_conserve_work(self, seed):
+        graph = graph_for(seed)
+        hw = frozenset(list(graph.task_names)[::2])
+        problem = PartitionProblem(graph, comm=NO_COMM,
+                                   hw_parallelism=None)
+        ev = evaluate_partition(problem, hw)
+        sw_work = sum(
+            graph.task(n).sw_time for n in graph.task_names if n not in hw
+        )
+        hw_work = sum(graph.task(n).hw_time for n in hw)
+        assert ev.cpu_busy_ns == pytest.approx(sw_work)
+        assert ev.hw_busy_ns == pytest.approx(hw_work)
+
+
+class TestMultiprocSchedulerInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6), n_pes=st.integers(1, 4))
+    def test_makespan_bounds(self, seed, n_pes):
+        graph = graph_for(seed)
+        alloc = Allocation.of({"r32": n_pes}, LIB)
+        sched = schedule_on(graph, alloc, NO_COMM)
+        serial = graph.total_time("sw")
+        critical = graph.critical_path("sw")[0]
+        assert critical - 1e-6 <= sched.makespan <= serial + 1e-6
+        # work conservation: total busy time equals total work
+        assert sum(sched.pe_load().values()) == pytest.approx(serial)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_mapping_times_respected(self, seed):
+        """Every task's span equals its execution time on its PE."""
+        graph = graph_for(seed)
+        alloc = Allocation.of({"micro16": 1, "dsp": 1}, LIB)
+        sched = schedule_on(graph, alloc, TIGHT)
+        pes = {pe.name: pe for pe in alloc.instances}
+        for name in graph.task_names:
+            pe = pes[sched.mapping[name]]
+            span = sched.finish[name] - sched.start[name]
+            assert span == pytest.approx(
+                execution_time(graph.task(name), pe.processor)
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_no_pe_overlap(self, seed):
+        """No two tasks overlap on one processing element."""
+        graph = graph_for(seed)
+        alloc = Allocation.of({"r32": 2, "micro16": 1}, LIB)
+        sched = schedule_on(graph, alloc, TIGHT)
+        by_pe = {}
+        for name, pe in sched.mapping.items():
+            by_pe.setdefault(pe, []).append(
+                (sched.start[name], sched.finish[name])
+            )
+        for pe, spans in by_pe.items():
+            spans.sort()
+            for (s1, f1), (s2, f2) in zip(spans, spans[1:]):
+                assert f1 <= s2 + 1e-9, pe
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_precedence_respected_with_comm(self, seed):
+        graph = graph_for(seed)
+        alloc = Allocation.of({"r32": 3}, LIB)
+        sched = schedule_on(graph, alloc, TIGHT)
+        for edge in graph.edges:
+            delay = (
+                TIGHT.transfer_ns(edge.volume)
+                if sched.mapping[edge.src] != sched.mapping[edge.dst]
+                else 0.0
+            )
+            assert sched.start[edge.dst] + 1e-9 >= \
+                sched.finish[edge.src] + delay
+
+
+class TestFlowAgreementInvariant:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_simulation_and_schedule_agree_on_random_graphs(self, seed):
+        """The independent DES and the analytic list schedule must stay
+        within 35% of each other on arbitrary partitions (they share the
+        cost model, not the code)."""
+        from repro.core.flow import simulate_partition
+
+        graph = graph_for(seed, n=8)
+        rng = random.Random(seed + 1)
+        hw = frozenset(n for n in graph.task_names if rng.random() < 0.5)
+        problem = PartitionProblem(graph, comm=TIGHT, hw_parallelism=2)
+        analytic = evaluate_partition(problem, hw).latency_ns
+        simulated = simulate_partition(problem, hw).latency_ns
+        ratio = analytic / simulated
+        assert 0.65 <= ratio <= 1.35, (sorted(hw), ratio)

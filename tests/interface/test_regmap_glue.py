@@ -1,0 +1,134 @@
+"""Tests for device specs, register-map allocation, and glue logic."""
+
+import pytest
+
+from repro.interface.glue import build_glue
+from repro.interface.regmap import RegmapError, allocate_register_map
+from repro.interface.spec import (
+    Access,
+    DeviceSpec,
+    RegisterSpec,
+    gpio_spec,
+    timer_spec,
+    uart_spec,
+)
+
+ALL = [uart_spec(), timer_spec(), gpio_spec()]
+
+
+class TestSpec:
+    def test_size_rounds_to_power_of_two(self):
+        assert uart_spec().size == 4    # 4 registers
+        assert timer_spec().size == 4   # 3 registers -> 4
+        dev = DeviceSpec("d", [RegisterSpec("a")])
+        assert dev.size == 1
+
+    def test_offsets_follow_declaration_order(self):
+        uart = uart_spec()
+        assert uart.offset_of("data") == 0
+        assert uart.offset_of("baud") == 3
+        with pytest.raises(KeyError):
+            uart.offset_of("ghost")
+
+    def test_access_modes(self):
+        assert Access.RO.readable and not Access.RO.writable
+        assert Access.WO.writable and not Access.WO.readable
+        assert Access.RW.readable and Access.RW.writable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad name", [RegisterSpec("a")])
+        with pytest.raises(ValueError):
+            DeviceSpec("dev", [])
+        with pytest.raises(ValueError):
+            DeviceSpec("dev", [RegisterSpec("a"), RegisterSpec("a")])
+        with pytest.raises(ValueError):
+            RegisterSpec("not valid")
+
+
+class TestRegmap:
+    def test_windows_are_aligned_and_disjoint(self):
+        regmap = allocate_register_map(ALL)
+        windows = [regmap.window_of(d.name) for d in ALL]
+        for base, size in windows:
+            assert base % size == 0
+        spans = sorted((b, b + s) for b, s in windows)
+        for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+            assert hi1 <= lo2
+
+    def test_addresses_inside_io_window(self):
+        regmap = allocate_register_map(ALL, io_base=0x800, io_size=0x100)
+        for symbol, addr in regmap.symbols().items():
+            assert 0x800 <= addr < 0x900, symbol
+
+    def test_address_of(self):
+        regmap = allocate_register_map(ALL)
+        base = regmap.bases["uart"]
+        assert regmap.address_of("uart", "baud") == base + 3
+
+    def test_window_overflow_rejected(self):
+        with pytest.raises(RegmapError):
+            allocate_register_map(ALL, io_size=4)
+
+    def test_duplicate_devices_rejected(self):
+        with pytest.raises(RegmapError):
+            allocate_register_map([uart_spec(), uart_spec()])
+
+    def test_symbols_table_complete(self):
+        regmap = allocate_register_map(ALL)
+        symbols = regmap.symbols()
+        assert "UART_DATA" in symbols
+        assert "TIMER_RELOAD" in symbols
+        assert "GPIO_BASE" in symbols
+
+    def test_deterministic_allocation(self):
+        a = allocate_register_map(ALL)
+        b = allocate_register_map([gpio_spec(), uart_spec(), timer_spec()])
+        assert a.bases == b.bases
+
+
+class TestGlue:
+    def test_decoder_routes_every_register(self):
+        regmap = allocate_register_map(ALL)
+        glue = build_glue(regmap)
+        for dev in ALL:
+            for reg in dev.registers:
+                addr = regmap.address_of(dev.name, reg.name)
+                assert glue.decode(addr) == (
+                    dev.name, dev.offset_of(reg.name)
+                )
+
+    def test_unmapped_address_decodes_to_none(self):
+        regmap = allocate_register_map(ALL)
+        glue = build_glue(regmap)
+        assert glue.decode(0x10) is None
+        assert glue.decode(regmap.end + 100) is None
+
+    def test_irq_lines_only_for_interrupting_devices(self):
+        glue = build_glue(allocate_register_map(ALL))
+        assert set(glue.irq_lines) == {"uart", "timer"}
+
+    def test_irq_status_word_encodes_priority_bits(self):
+        glue = build_glue(allocate_register_map(ALL))
+        word = glue.irq_status_word(
+            {glue.irq_lines[0]: True, glue.irq_lines[1]: False}
+        )
+        assert word == 1
+        word = glue.irq_status_word({n: True for n in glue.irq_lines})
+        assert word == 0b11
+
+    def test_area_grows_with_device_count(self):
+        small = build_glue(allocate_register_map([gpio_spec()]))
+        large = build_glue(allocate_register_map(ALL))
+        assert large.area > small.area
+
+    def test_wait_states_recorded(self):
+        glue = build_glue(allocate_register_map(ALL))
+        assert glue.wait_states["uart"] == 1
+        assert glue.wait_states["gpio"] == 0
+
+    def test_netlist_text_mentions_every_device(self):
+        glue = build_glue(allocate_register_map(ALL))
+        text = glue.netlist_text()
+        for dev in ALL:
+            assert dev.name in text

@@ -1,0 +1,231 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.cpu import Cpu, Memory
+from repro.isa.instructions import CustomOp, Isa, Opcode
+
+
+def run_program(text, isa=None, max_instructions=100_000):
+    isa = isa or Isa()
+    prog = assemble(text, isa)
+    mem = Memory()
+    mem.load_image(prog.image)
+    cpu = Cpu(isa, mem, pc=prog.entry)
+    cpu.run(max_instructions=max_instructions)
+    return cpu, mem, prog
+
+
+class TestBasics:
+    def test_simple_program_assembles_and_runs(self):
+        cpu, _mem, _prog = run_program("""
+            addi r1, r0, 10
+            addi r2, r0, 32
+            add  r3, r1, r2
+            halt
+        """)
+        assert cpu.get_reg(3) == 42
+
+    def test_comments_and_blank_lines_ignored(self):
+        prog = assemble("""
+            ; a comment
+            # another
+            addi r1, r0, 1   ; trailing
+            halt
+        """)
+        assert prog.size == 2
+
+    def test_labels_resolve(self):
+        cpu, _m, _p = run_program("""
+                addi r1, r0, 0
+                j skip
+                addi r1, r0, 99   ; must be skipped
+            skip:
+                addi r1, r1, 5
+                halt
+        """)
+        assert cpu.get_reg(1) == 5
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\na:\nhalt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere\nhalt")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("bogus r1, r2, r3")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r99, r2")
+
+    def test_register_aliases(self):
+        cpu, _m, _p = run_program("""
+            addi ra, zero, 7
+            add  r1, ra, zero
+            halt
+        """)
+        assert cpu.get_reg(1) == 7
+        assert cpu.get_reg(15) == 7
+
+
+class TestBranches:
+    def test_loop_counts(self):
+        cpu, _m, _p = run_program("""
+                addi r1, r0, 0      ; i = 0
+                addi r2, r0, 5      ; n = 5
+            loop:
+                beq  r1, r2, done
+                addi r1, r1, 1
+                j loop
+            done:
+                halt
+        """)
+        assert cpu.get_reg(1) == 5
+
+    def test_all_branch_kinds(self):
+        cpu, _m, _p = run_program("""
+                addi r1, r0, -3
+                addi r2, r0, 4
+                addi r5, r0, 0
+                blt  r1, r2, a      ; signed -3 < 4: taken
+                halt
+            a:  addi r5, r5, 1
+                bge  r2, r1, b      ; 4 >= -3: taken
+                halt
+            b:  addi r5, r5, 1
+                bne  r1, r2, c      ; taken
+                halt
+            c:  addi r5, r5, 1
+                halt
+        """)
+        assert cpu.get_reg(5) == 3
+
+    def test_backward_branch(self):
+        cpu, _m, _p = run_program("""
+                addi r1, r0, 3
+            again:
+                addi r1, r1, -1
+                bne  r1, r0, again
+                halt
+        """)
+        assert cpu.get_reg(1) == 0
+
+
+class TestCallsAndMemory:
+    def test_jal_jr_calling_convention(self):
+        cpu, _m, _p = run_program("""
+                addi r1, r0, 20
+                jal  double
+                add  r4, r2, r0
+                halt
+            double:
+                add  r2, r1, r1
+                jr   ra
+        """)
+        assert cpu.get_reg(4) == 40
+
+    def test_load_store(self):
+        cpu, mem, _p = run_program("""
+                addi r1, r0, 123
+                sw   r1, 0x200(r0)
+                lw   r2, 0x200(r0)
+                halt
+        """)
+        assert mem.ram[0x200] == 123
+        assert cpu.get_reg(2) == 123
+
+    def test_memory_operand_with_label(self):
+        cpu, _m, _p = run_program("""
+                lw   r1, table(r0)
+                halt
+            .org 0x80
+            table:
+            .word 777
+        """)
+        assert cpu.get_reg(1) == 777
+
+
+class TestDirectivesAndPseudos:
+    def test_org_and_word(self):
+        prog = assemble("""
+            .org 0x10
+            .word 1, 2, 0xdeadbeef
+        """)
+        assert prog.image[0x10] == 1
+        assert prog.image[0x12] == 0xDEADBEEF
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".org 0x10\n.org 0x5\n")
+
+    def test_space_reserves_zeroed_words(self):
+        prog = assemble(".space 3")
+        assert [prog.image[i] for i in range(3)] == [0, 0, 0]
+
+    def test_overlapping_emission_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".word 1\n.org 0\n.word 2\n")
+
+    def test_li_small_is_one_word(self):
+        prog = assemble("li r1, 100\nhalt")
+        assert prog.size == 2
+
+    def test_li_large_is_two_words(self):
+        cpu, _m, prog = run_program("li r1, 0x12345678\nhalt")
+        assert cpu.get_reg(1) == 0x12345678
+        assert prog.size == 3
+
+    def test_li_negative(self):
+        cpu, _m, _p = run_program("li r1, -5\naddi r1, r1, 5\nhalt")
+        assert cpu.get_reg(1) == 0
+
+    def test_li_large_negative(self):
+        cpu, _m, _p = run_program("li r1, -100000\nhalt")
+        assert cpu.get_reg(1) == (-100000) & 0xFFFFFFFF
+
+    def test_la_loads_label_address(self):
+        cpu, _m, prog = run_program("""
+                la r1, data
+                lw r2, 0(r1)
+                halt
+            data: .word 55
+        """)
+        assert cpu.get_reg(1) == prog.symbols["data"]
+        assert cpu.get_reg(2) == 55
+
+    def test_mov_and_nop(self):
+        cpu, _m, _p = run_program("""
+            addi r1, r0, 9
+            nop
+            mov  r2, r1
+            halt
+        """)
+        assert cpu.get_reg(2) == 9
+
+
+class TestCustomInstructions:
+    def test_custom_mnemonic_assembles(self):
+        isa = Isa()
+        isa.add_custom(CustomOp("sad", 0x80,
+                                lambda a, b: abs(a - b) & 0xFFFFFFFF))
+        cpu, _m, _p = run_program("""
+            addi r1, r0, 3
+            addi r2, r0, 10
+            sad  r3, r1, r2
+            halt
+        """, isa=isa)
+        assert cpu.get_reg(3) == 7
+
+
+class TestListing:
+    def test_listing_disassembles(self):
+        isa = Isa()
+        prog = assemble("addi r1, r0, 4\nhalt", isa)
+        listing = prog.listing(isa)
+        assert "addi r1, r0, 4" in listing
+        assert "halt" in listing

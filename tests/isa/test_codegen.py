@@ -1,0 +1,164 @@
+"""Codegen tests: generated machine code must match CDFG.evaluate.
+
+This is the central co-verification property of the framework (Section
+3.2 of the paper): the software implementation of a behavior must be
+functionally identical to its dataflow (and hence hardware) semantics.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import kernels
+from repro.graph.cdfg import CDFG, MASK32, OpKind
+from repro.isa.codegen import CodegenError, CompiledKernel, compile_cdfg
+from repro.isa.instructions import Isa
+
+words = st.integers(min_value=0, max_value=MASK32)
+small = st.integers(min_value=-1000, max_value=1000)
+
+
+def cross_check(cdfg, inputs):
+    """Run both semantics and compare outputs."""
+    expect = cdfg.evaluate(dict(inputs))
+    compiled = compile_cdfg(cdfg)
+    got, cycles = compiled.run(dict(inputs))
+    assert got == expect, f"mismatch on {cdfg.name}: {got} != {expect}"
+    assert cycles > 0
+    return compiled, cycles
+
+
+class TestBasicLowering:
+    def test_mac(self):
+        g = CDFG("mac")
+        a, b, c = g.inp("a"), g.inp("b"), g.inp("c")
+        g.out("y", g.add(g.mul(a, b), c))
+        cross_check(g, {"a": 3, "b": 4, "c": 5})
+
+    def test_constants(self):
+        g = CDFG("k")
+        x = g.inp("x")
+        big = g.const(0x12345678)
+        neg = g.const((-7) & MASK32)
+        g.out("y", g.add(g.add(x, big), neg))
+        cross_check(g, {"x": 1})
+
+    def test_compare_chain(self):
+        g = CDFG("cmp")
+        a, b = g.inp("a"), g.inp("b")
+        g.out("lt", g.lt(a, b))
+        g.out("eq", g.eq(a, b))
+        g.out("gt", g.add_op(OpKind.GT, (a, b)))
+        g.out("ge", g.add_op(OpKind.GE, (a, b)))
+        g.out("le", g.add_op(OpKind.LE, (a, b)))
+        g.out("ne", g.add_op(OpKind.NE, (a, b)))
+        for pair in [(3, 9), (9, 3), (4, 4), ((-5) & MASK32, 2)]:
+            cross_check(g, {"a": pair[0], "b": pair[1]})
+
+    def test_mux(self):
+        g = CDFG("mux")
+        c, a, b = g.inp("c"), g.inp("a"), g.inp("b")
+        g.out("y", g.mux(c, a, b))
+        cross_check(g, {"c": 1, "a": 11, "b": 22})
+        cross_check(g, {"c": 0, "a": 11, "b": 22})
+        cross_check(g, {"c": 0xFFFF0000, "a": 11, "b": 22})
+
+    def test_not_and_neg(self):
+        g = CDFG("inv")
+        x = g.inp("x")
+        g.out("n", g.bnot(x))
+        g.out("m", g.neg(x))
+        cross_check(g, {"x": 0x0F0F0F0F})
+
+    def test_div_mod(self):
+        g = CDFG("dm")
+        a, b = g.inp("a"), g.inp("b")
+        g.out("q", g.div(a, b))
+        g.out("r", g.mod(a, b))
+        cross_check(g, {"a": 100, "b": 7})
+        cross_check(g, {"a": (-100) & MASK32, "b": 7})
+
+    def test_load_store_ops(self):
+        g = CDFG("mem")
+        addr, val = g.inp("addr"), g.inp("val")
+        stored = g.add_op(OpKind.STORE, (addr, val))
+        g.out("echo", stored)
+        g.out("back", g.add_op(OpKind.LOAD, (addr,)))
+        expect_mem = {}
+        expect = g.evaluate({"addr": 0x3000, "val": 99}, memory=expect_mem)
+        compiled = compile_cdfg(g)
+        mem = {}
+        got, _cycles = compiled.run({"addr": 0x3000, "val": 99}, memory=mem)
+        assert got == expect
+        assert mem[0x3000] == 99
+
+
+class TestKernelCrossChecks:
+    @pytest.mark.parametrize("name", sorted(kernels.ALL_CDFG_KERNELS))
+    def test_kernel_matches_reference_fixed_vector(self, name):
+        cdfg = kernels.ALL_CDFG_KERNELS[name]()
+        inputs = {op.name: (i * 2654435761) & MASK32 if name == "crc_step"
+                  else (i % 17) + 1
+                  for i, op in enumerate(cdfg.inputs())}
+        cross_check(cdfg, inputs)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_ewf_random_vectors(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        cdfg = kernels.elliptic_wave_filter()
+        inputs = {op.name: rng.randrange(0, 1 << 16)
+                  for op in cdfg.inputs()}
+        cross_check(cdfg, inputs)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_crc_random_vectors(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        cdfg = kernels.crc_step()
+        cross_check(cdfg, {"crc": rng.randrange(0, 1 << 32),
+                           "byte": rng.randrange(0, 256)})
+
+
+class TestRegisterPressure:
+    def test_wide_graph_forces_spills_and_stays_correct(self):
+        """A graph with >12 simultaneously-live values must spill."""
+        g = CDFG("wide")
+        ins = [g.inp(f"x{i}") for i in range(20)]
+        doubled = [g.add(x, x) for x in ins]
+        # consume in reverse order to maximize live ranges
+        acc = doubled[-1]
+        for d in reversed(doubled[:-1]):
+            acc = g.add(acc, d)
+        g.out("y", acc)
+        inputs = {f"x{i}": i + 1 for i in range(20)}
+        compiled, _cycles = cross_check(g, inputs)
+        assert compiled.spill_slots > 0 or "lw" in compiled.asm
+
+    def test_missing_input_rejected(self):
+        g = CDFG("m")
+        x = g.inp("x")
+        g.out("y", g.add(x, x))
+        compiled = compile_cdfg(g)
+        with pytest.raises(CodegenError):
+            compiled.run({})
+
+
+class TestCodeMetrics:
+    def test_code_size_reported(self):
+        g = kernels.fir(8)
+        compiled = compile_cdfg(g)
+        assert compiled.code_size > 20
+        assert compiled.cdfg_name == "fir8"
+
+    def test_cycles_scale_with_kernel_size(self):
+        small_k = compile_cdfg(kernels.fir(4))
+        large_k = compile_cdfg(kernels.fir(16))
+        ins_small = {op.name: 1 for op in kernels.fir(4).inputs()}
+        ins_large = {op.name: 1 for op in kernels.fir(16).inputs()}
+        _, cycles_small = small_k.run(ins_small)
+        _, cycles_large = large_k.run(ins_large)
+        assert cycles_large > cycles_small

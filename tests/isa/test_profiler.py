@@ -1,0 +1,110 @@
+"""Tests for the execution profiler."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.cpu import Cpu, Memory
+from repro.isa.instructions import Isa
+from repro.isa.profiler import Profiler
+
+
+def profiled_run(text):
+    isa = Isa()
+    prog = assemble(text, isa)
+    mem = Memory()
+    mem.load_image(prog.image)
+    cpu = Cpu(isa, mem, pc=prog.entry)
+    profiler = Profiler(cpu)
+    cpu.run()
+    return cpu, profiler, prog
+
+
+LOOP_PROGRAM = """
+        addi r1, r0, 0
+        addi r2, r0, 50
+    loop:
+        mul  r3, r1, r1
+        addi r1, r1, 1
+        bne  r1, r2, loop
+        halt
+"""
+
+
+class TestCounting:
+    def test_totals_match_cpu(self):
+        cpu, prof, _p = profiled_run(LOOP_PROGRAM)
+        assert prof.total_instructions == cpu.instr_count
+        # opcode cycle attribution excludes the taken-branch penalty,
+        # so it is a lower bound on the CPU's cycle count
+        assert prof.total_cycles <= cpu.cycle_count
+        assert prof.total_cycles >= cpu.cycle_count - cpu.instr_count
+
+    def test_hot_pcs_are_the_loop_body(self):
+        _c, prof, prog = profiled_run(LOOP_PROGRAM)
+        loop_addr = prog.symbols["loop"]
+        hot = dict(prof.hot_pcs(3))
+        assert loop_addr in hot
+        assert hot[loop_addr] == 50
+
+    def test_opcode_histogram(self):
+        _c, prof, _p = profiled_run(LOOP_PROGRAM)
+        hist = prof.opcode_histogram()
+        assert hist["mul"] == 50
+        assert hist["bne"] == 50
+        assert hist["halt"] == 1
+
+    def test_cycle_share_dominated_by_mul(self):
+        _c, prof, _p = profiled_run(LOOP_PROGRAM)
+        share = prof.cycle_share()
+        assert share["mul"] == max(share.values())
+        assert sum(share.values()) == pytest.approx(1.0)
+
+
+class TestBasicBlocks:
+    def test_loop_is_one_hot_block(self):
+        _c, prof, prog = profiled_run(LOOP_PROGRAM)
+        blocks = prof.hot_blocks(1)
+        assert len(blocks) == 1
+        block = blocks[0]
+        assert block.start == prog.symbols["loop"]
+        assert block.executions == 50
+        assert block.size == 3  # mul, addi, bne
+
+    def test_blocks_cover_all_executed_pcs(self):
+        _c, prof, _p = profiled_run(LOOP_PROGRAM)
+        covered = set()
+        for block in prof.basic_blocks():
+            covered.update(range(block.start, block.end + 1))
+        assert covered == set(prof.pc_counts)
+
+    def test_straightline_program_is_one_block(self):
+        _c, prof, _p = profiled_run("""
+            addi r1, r0, 1
+            addi r2, r0, 2
+            add  r3, r1, r2
+            halt
+        """)
+        blocks = prof.basic_blocks()
+        assert len(blocks) == 1
+        assert blocks[0].size == 4
+
+
+class TestReports:
+    def test_coverage(self):
+        _c, prof, prog = profiled_run(LOOP_PROGRAM)
+        assert prof.coverage(prog.size) == pytest.approx(1.0)
+        assert prof.coverage(0) == 0.0
+
+    def test_report_contains_sections(self):
+        _c, prof, _p = profiled_run(LOOP_PROGRAM)
+        report = prof.report()
+        assert "instructions:" in report
+        assert "hot opcodes:" in report
+        assert "mul" in report
+
+    def test_empty_profile(self):
+        cpu = Cpu(Isa(), Memory())
+        prof = Profiler(cpu)
+        assert prof.total_instructions == 0
+        assert prof.cycle_share() == {}
+        assert prof.basic_blocks() == []

@@ -1,0 +1,154 @@
+"""Tests for the five partitioning algorithms."""
+
+import random
+
+import pytest
+
+from repro.estimate.communication import TIGHT, CommModel
+from repro.graph.generators import random_layered_graph
+from repro.graph.kernels import jpeg_encoder_taskgraph, modem_taskgraph
+from repro.partition import (
+    CostWeights,
+    PartitionProblem,
+    cosyma_partition,
+    evaluate_partition,
+    greedy_partition,
+    kernighan_lin,
+    simulated_annealing,
+    vulcan_partition,
+)
+
+ALGOS = {
+    "greedy": greedy_partition,
+    "kl": kernighan_lin,
+    "vulcan": vulcan_partition,
+    "cosyma": cosyma_partition,
+    "sa": lambda p, **kw: simulated_annealing(
+        p, rng=random.Random(7), **kw
+    ),
+}
+
+
+def jpeg_problem(**kwargs):
+    defaults = dict(hw_area_budget=600.0, deadline_ns=90.0, comm=TIGHT)
+    defaults.update(kwargs)
+    return PartitionProblem.from_task_graph(
+        jpeg_encoder_taskgraph(), **defaults
+    )
+
+
+class TestAllAlgorithms:
+    @pytest.mark.parametrize("name", sorted(ALGOS))
+    def test_beats_all_software_on_jpeg(self, name):
+        problem = jpeg_problem()
+        result = ALGOS[name](problem)
+        all_sw = evaluate_partition(problem, [])
+        assert result.evaluation.latency_ns < all_sw.latency_ns
+        assert result.evaluation.deadline_met
+
+    @pytest.mark.parametrize("name", sorted(ALGOS))
+    def test_partitions_are_valid_subsets(self, name):
+        problem = jpeg_problem()
+        result = ALGOS[name](problem)
+        names = set(problem.graph.task_names)
+        assert set(result.hw_tasks) <= names
+        assert set(result.sw_tasks) == names - set(result.hw_tasks)
+
+    @pytest.mark.parametrize("name", sorted(ALGOS))
+    def test_result_reports_consistent_cost(self, name):
+        from repro.partition.cost import partition_cost
+
+        problem = jpeg_problem()
+        result = ALGOS[name](problem)
+        recomputed, _b, _e = partition_cost(problem, result.hw_tasks)
+        assert result.cost == pytest.approx(recomputed)
+
+    @pytest.mark.parametrize("name", sorted(ALGOS))
+    def test_deterministic(self, name):
+        a = ALGOS[name](jpeg_problem())
+        b = ALGOS[name](jpeg_problem())
+        assert a.hw_tasks == b.hw_tasks
+        assert a.cost == pytest.approx(b.cost)
+
+
+class TestAlgorithmCharacter:
+    def test_vulcan_starts_hardware_first(self):
+        """Vulcan must keep performance at the all-HW level (no deadline
+        given) while shedding hardware."""
+        problem = PartitionProblem.from_task_graph(
+            modem_taskgraph(), comm=TIGHT
+        )
+        result = vulcan_partition(problem, slack_factor=1.0)
+        all_hw = evaluate_partition(problem, problem.graph.task_names)
+        assert result.evaluation.latency_ns <= all_hw.latency_ns + 1e-9
+        assert result.evaluation.hw_area <= all_hw.hw_area
+
+    def test_vulcan_slack_trades_area_for_time(self):
+        problem = PartitionProblem.from_task_graph(
+            modem_taskgraph(), comm=TIGHT
+        )
+        strict = vulcan_partition(problem, slack_factor=1.0)
+        relaxed = vulcan_partition(problem, slack_factor=2.0)
+        assert relaxed.evaluation.hw_area <= strict.evaluation.hw_area
+
+    def test_cosyma_moves_hot_tasks_first(self):
+        """With a deadline, COSYMA-style extraction targets the stages
+        with the best speedup-per-area (the DCT, not the Huffman)."""
+        problem = jpeg_problem(deadline_ns=120.0)
+        result = cosyma_partition(problem)
+        assert "dct2d" in result.hw_tasks
+        assert "huffman" not in result.hw_tasks
+
+    def test_cosyma_respects_area_budget(self):
+        problem = jpeg_problem(hw_area_budget=150.0, deadline_ns=None)
+        result = cosyma_partition(problem)
+        assert result.evaluation.hw_area <= 150.0
+
+    def test_kl_escapes_greedy_trap(self):
+        """On a comm-heavy pipeline, single moves are all losing but the
+        full-pipeline move wins; KL's lookahead must do at least as well
+        as greedy."""
+        expensive = CommModel(sync_overhead_ns=20.0, word_time_ns=2.0)
+        problem = jpeg_problem(comm=expensive, deadline_ns=90.0)
+        g = greedy_partition(problem)
+        k = kernighan_lin(problem)
+        assert k.cost <= g.cost + 1e-9
+
+    def test_sa_seed_controls_trajectory(self):
+        problem = jpeg_problem()
+        a = simulated_annealing(problem, rng=random.Random(1))
+        b = simulated_annealing(problem, rng=random.Random(1))
+        assert a.hw_tasks == b.hw_tasks
+
+    def test_moves_evaluated_counted(self):
+        result = greedy_partition(jpeg_problem())
+        assert result.moves_evaluated > 0
+
+
+class TestOnRandomGraphs:
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_partitioners_agree_on_feasibility(self, seed):
+        graph = random_layered_graph(random.Random(seed), n_tasks=10)
+        deadline = graph.critical_path("sw")[0] * 0.7
+        problem = PartitionProblem.from_task_graph(
+            graph, deadline_ns=deadline, comm=TIGHT,
+            hw_parallelism=None,
+        )
+        results = {
+            name: fn(problem) for name, fn in ALGOS.items()
+        }
+        # at least the explicitly deadline-driven methods must meet it
+        assert results["cosyma"].evaluation.deadline_met
+        assert results["vulcan"].evaluation.deadline_met
+        # nobody may return a *worse* cost than doing nothing
+        from repro.partition.cost import partition_cost
+
+        idle_cost, _b, _e = partition_cost(problem, [])
+        for name, result in results.items():
+            assert result.cost <= idle_cost + 1e-9, name
+
+    def test_summary_text(self):
+        result = greedy_partition(jpeg_problem())
+        text = result.summary()
+        assert "greedy" in text
+        assert "latency" in text

@@ -1,0 +1,111 @@
+"""Tests for the six-factor cost model."""
+
+import pytest
+
+from repro.estimate.communication import CommModel
+from repro.graph.taskgraph import Task, TaskGraph
+from repro.partition.cost import CostWeights, cost_terms, partition_cost
+from repro.partition.evaluate import evaluate_partition
+from repro.partition.problem import PartitionProblem
+
+NO_COMM = CommModel(sync_overhead_ns=0.0, word_time_ns=0.0)
+
+
+def graph():
+    g = TaskGraph()
+    g.add_task(Task("par", sw_time=20.0, hw_time=2.0, hw_area=100.0,
+                    parallelism=8.0, modifiability=0.0))
+    g.add_task(Task("ser", sw_time=20.0, hw_time=15.0, hw_area=100.0,
+                    parallelism=1.0, modifiability=0.9))
+    g.add_edge("par", "ser", 16.0)
+    return g
+
+
+class TestFactorTerms:
+    def test_all_factors_present(self):
+        problem = PartitionProblem(graph(), comm=NO_COMM)
+        ev = evaluate_partition(problem, ["par"])
+        terms = cost_terms(problem, ev, ["par"])
+        assert set(terms) == set(CostWeights.factors())
+
+    def test_deadline_violation_penalized(self):
+        tight = PartitionProblem(graph(), comm=NO_COMM, deadline_ns=1.0)
+        loose = PartitionProblem(graph(), comm=NO_COMM, deadline_ns=1e9)
+        ev_t = evaluate_partition(tight, [])
+        ev_l = evaluate_partition(loose, [])
+        t_terms = cost_terms(tight, ev_t, [])
+        l_terms = cost_terms(loose, ev_l, [])
+        assert t_terms["performance"] > l_terms["performance"]
+
+    def test_area_budget_violation_penalized(self):
+        small = PartitionProblem(graph(), comm=NO_COMM, hw_area_budget=1.0)
+        big = PartitionProblem(graph(), comm=NO_COMM, hw_area_budget=1e9)
+        hw = ["par", "ser"]
+        ev_s = evaluate_partition(small, hw)
+        ev_b = evaluate_partition(big, hw)
+        assert cost_terms(small, ev_s, hw)["implementation_cost"] > \
+            cost_terms(big, ev_b, hw)["implementation_cost"]
+
+    def test_modifiability_counts_hw_tasks_only(self):
+        problem = PartitionProblem(graph(), comm=NO_COMM)
+        ev = evaluate_partition(problem, ["ser"])
+        terms = cost_terms(problem, ev, ["ser"])
+        assert terms["modifiability"] == pytest.approx(0.9)
+        ev2 = evaluate_partition(problem, ["par"])
+        terms2 = cost_terms(problem, ev2, ["par"])
+        assert terms2["modifiability"] == pytest.approx(0.0)
+
+    def test_nature_prefers_parallel_in_hw(self):
+        problem = PartitionProblem(graph(), comm=NO_COMM)
+        good = cost_terms(problem, evaluate_partition(problem, ["par"]),
+                          ["par"])
+        bad = cost_terms(problem, evaluate_partition(problem, ["ser"]),
+                         ["ser"])
+        assert good["nature"] < bad["nature"]
+
+    def test_concurrency_term_rewards_overlap(self):
+        g = TaskGraph()
+        g.add_task(Task("a", sw_time=10.0, hw_time=10.0))
+        g.add_task(Task("b", sw_time=10.0, hw_time=10.0))
+        problem = PartitionProblem(g, comm=NO_COMM)
+        overlap = cost_terms(
+            problem, evaluate_partition(problem, ["b"]), ["b"]
+        )
+        serial = cost_terms(problem, evaluate_partition(problem, []), [])
+        assert overlap["concurrency"] < serial["concurrency"]
+
+    def test_communication_term_is_cut_time(self):
+        comm = CommModel(sync_overhead_ns=5.0, word_time_ns=1.0)
+        problem = PartitionProblem(graph(), comm=comm)
+        ev = evaluate_partition(problem, ["par"])
+        terms = cost_terms(problem, ev, ["par"])
+        assert terms["communication"] == pytest.approx(5.0 + 16.0)
+
+
+class TestWeights:
+    def test_ablate_zeroes_one_factor(self):
+        w = CostWeights().ablate("communication")
+        assert w.communication == 0.0
+        assert w.performance == CostWeights().performance
+
+    def test_ablate_unknown_factor_rejected(self):
+        with pytest.raises(AttributeError):
+            CostWeights().ablate("vibes")
+
+    def test_cost_is_weighted_sum(self):
+        problem = PartitionProblem(graph(), comm=NO_COMM)
+        weights = CostWeights()
+        cost, breakdown, ev = partition_cost(problem, ["par"], weights)
+        assert cost == pytest.approx(sum(breakdown.values()))
+        raw = cost_terms(problem, ev, ["par"])
+        for factor in CostWeights.factors():
+            assert breakdown[factor] == pytest.approx(
+                getattr(weights, factor) * raw[factor]
+            )
+
+    def test_reuse_precomputed_evaluation(self):
+        problem = PartitionProblem(graph(), comm=NO_COMM)
+        ev = evaluate_partition(problem, ["par"])
+        cost1, _b1, _e1 = partition_cost(problem, ["par"], evaluation=ev)
+        cost2, _b2, _e2 = partition_cost(problem, ["par"])
+        assert cost1 == pytest.approx(cost2)

@@ -1,0 +1,90 @@
+"""Tests for the GCLP (Kalavade-Lee style) partitioner."""
+
+import random
+
+import pytest
+
+from repro.estimate.communication import TIGHT
+from repro.graph.generators import random_layered_graph
+from repro.graph.kernels import jpeg_encoder_taskgraph, modem_taskgraph
+from repro.graph.taskgraph import Task, TaskGraph
+from repro.partition.cost import partition_cost
+from repro.partition.gclp import _percentile_ranks, gclp_partition
+from repro.partition.greedy import greedy_partition
+from repro.partition.problem import PartitionProblem
+
+
+def problem(**kwargs):
+    defaults = dict(comm=TIGHT, hw_parallelism=None)
+    defaults.update(kwargs)
+    return PartitionProblem(jpeg_encoder_taskgraph(), **defaults)
+
+
+class TestPercentiles:
+    def test_ranks_span_unit_interval(self):
+        ranks = _percentile_ranks([5.0, 1.0, 3.0])
+        assert sorted(ranks) == [0.0, 0.5, 1.0]
+        assert ranks[1] == 0.0  # smallest value
+        assert ranks[0] == 1.0  # largest value
+
+    def test_single_value(self):
+        assert _percentile_ranks([7.0]) == [0.0]
+
+
+class TestGclp:
+    def test_meets_deadline_when_feasible(self):
+        result = gclp_partition(problem(deadline_ns=90.0))
+        assert result.evaluation.deadline_met
+
+    def test_no_deadline_still_produces_sane_design(self):
+        result = gclp_partition(problem())
+        idle_cost, _b, _e = partition_cost(problem(), [])
+        assert result.cost <= idle_cost + 1e-9
+
+    def test_respects_area_budget(self):
+        result = gclp_partition(
+            problem(deadline_ns=90.0, hw_area_budget=350.0)
+        )
+        assert result.evaluation.hw_area <= 350.0
+
+    def test_extremities_steer_placement(self):
+        """A node with huge speedup and tiny area (hardware extremity)
+        must land in hardware; its mirror image in software."""
+        g = TaskGraph()
+        g.add_task(Task("hw_ext", sw_time=50.0, hw_time=2.0, hw_area=20.0))
+        g.add_task(Task("sw_ext", sw_time=10.0, hw_time=9.0, hw_area=900.0))
+        g.add_task(Task("mid", sw_time=20.0, hw_time=10.0, hw_area=100.0))
+        p = PartitionProblem(g, comm=TIGHT, deadline_ns=40.0)
+        result = gclp_partition(p)
+        assert "hw_ext" in result.hw_tasks
+        assert "sw_ext" not in result.hw_tasks
+
+    def test_single_pass_is_cheaper_than_greedy(self):
+        """GCLP's selling point: O(n) evaluations per design."""
+        p = problem(deadline_ns=90.0)
+        gclp = gclp_partition(p)
+        greedy = greedy_partition(p)
+        assert gclp.moves_evaluated < greedy.moves_evaluated
+
+    def test_deterministic(self):
+        a = gclp_partition(problem(deadline_ns=90.0))
+        b = gclp_partition(problem(deadline_ns=90.0))
+        assert a.hw_tasks == b.hw_tasks
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_random_graphs_feasible_designs(self, seed):
+        graph = random_layered_graph(random.Random(seed), n_tasks=12)
+        deadline = graph.critical_path("sw")[0] * 0.8
+        p = PartitionProblem(graph, comm=TIGHT, deadline_ns=deadline,
+                             hw_parallelism=None)
+        result = gclp_partition(p)
+        assert result.algorithm == "gclp"
+        # GCLP should find the deadline reachable on these instances
+        assert result.evaluation.deadline_met, seed
+
+    def test_available_through_flow(self):
+        from repro.core.flow import CodesignFlow
+
+        report = CodesignFlow(modem_taskgraph(), deadline_ns=90.0,
+                              algorithm="gclp").run()
+        assert report.simulated_latency_ns > 0

@@ -1,0 +1,182 @@
+"""Tests for the executable communicating-process specification."""
+
+import pytest
+
+from repro.graph.taskgraph import CycleError
+from repro.spec import (
+    ChannelSpec,
+    Compute,
+    Loop,
+    ProcessSpec,
+    Receive,
+    Send,
+    SystemSpec,
+    Wait,
+)
+from repro.spec.process import SpecError
+
+
+def producer_consumer(n=3, capacity=None):
+    producer = ProcessSpec("producer", [
+        Loop(n, [Compute(10.0, "make"), Send("data", words=4.0)]),
+    ])
+    consumer = ProcessSpec("consumer", [
+        Loop(n, [Receive("data"), Compute(6.0, "use")]),
+    ])
+    return SystemSpec(
+        [producer, consumer],
+        [ChannelSpec("data", "producer", "consumer", capacity=capacity)],
+    )
+
+
+class TestBehavior:
+    def test_loop_unrolling(self):
+        proc = ProcessSpec("p", [
+            Compute(1.0),
+            Loop(3, [Compute(2.0), Loop(2, [Compute(0.5)])]),
+        ])
+        flat = proc.flat()
+        assert len(flat) == 1 + 3 * (1 + 2)
+        assert proc.total_compute_ns() == pytest.approx(1 + 3 * 2 + 6 * 0.5)
+
+    def test_sends_on_counts_loops(self):
+        spec = producer_consumer(n=5)
+        count, words = spec.processes["producer"].sends_on("data")
+        assert count == 5
+        assert words == pytest.approx(20.0)
+
+    def test_statement_validation(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+        with pytest.raises(ValueError):
+            Send("c", words=0.0)
+        with pytest.raises(ValueError):
+            Loop(-1, [])
+
+
+class TestValidation:
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(SpecError):
+            SystemSpec(
+                [ProcessSpec("p", [Send("ghost")])],
+                [],
+            )
+
+    def test_wrong_direction_rejected(self):
+        with pytest.raises(SpecError):
+            SystemSpec(
+                [ProcessSpec("a", [Receive("c")]),
+                 ProcessSpec("b", [Send("c")])],
+                [ChannelSpec("c", "a", "b")],  # a is src but receives
+            )
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(SpecError):
+            SystemSpec(
+                [ProcessSpec("a", [Compute(1.0)])],
+                [ChannelSpec("c", "a", "ghost")],
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecError):
+            SystemSpec(
+                [ProcessSpec("a", [Compute(1.0)]),
+                 ProcessSpec("a", [Compute(1.0)])],
+                [],
+            )
+
+
+class TestExecution:
+    def test_pipeline_latency(self):
+        trace = producer_consumer(n=3).execute()
+        # producer: 3 x 10 = 30; consumer finishes its last item after
+        # the last send: 30 + 6 = 36 (receives overlap production)
+        assert trace.latency_ns == pytest.approx(36.0)
+        assert trace.channel_messages["data"] == 3
+
+    def test_channel_latency_delays_consumer(self):
+        fast = producer_consumer(n=1).execute()
+        slow = producer_consumer(n=1).execute(
+            latency_per_message=50.0
+        )
+        assert slow.latency_ns > fast.latency_ns
+
+    def test_rendezvous_throttles_producer(self):
+        buffered = producer_consumer(n=4, capacity=None).execute()
+        rendezvous = producer_consumer(n=4, capacity=0).execute()
+        assert rendezvous.finish_times["producer"] >= \
+            buffered.finish_times["producer"]
+
+    def test_deadlock_detected(self):
+        spec = SystemSpec(
+            [
+                ProcessSpec("a", [Receive("b2a"), Send("a2b")]),
+                ProcessSpec("b", [Receive("a2b"), Send("b2a")]),
+            ],
+            [
+                ChannelSpec("a2b", "a", "b"),
+                ChannelSpec("b2a", "b", "a"),
+            ],
+        )
+        with pytest.raises(SpecError):
+            spec.execute()
+
+    def test_wait_does_not_consume(self):
+        """The sink peeks (wait) before consuming (receive): both must
+        succeed on the single message — wait left it in the channel."""
+        spec = SystemSpec(
+            [
+                ProcessSpec("src", [Compute(5.0), Send("c")]),
+                ProcessSpec("sink", [Wait("c"), Receive("c"),
+                                     Compute(1.0)]),
+            ],
+            [ChannelSpec("c", "src", "sink")],
+        )
+        trace = spec.execute()
+        assert trace.channel_messages["c"] == 1
+        assert len(trace.finish_times) == 2
+
+    def test_time_scale(self):
+        base = producer_consumer(n=2).execute()
+        scaled = producer_consumer(n=2).execute(time_scale=2.0)
+        assert scaled.latency_ns == pytest.approx(2 * base.latency_ns)
+
+
+class TestRefinement:
+    def test_task_graph_structure(self):
+        graph = producer_consumer(n=3).to_task_graph()
+        assert sorted(graph.task_names) == ["consumer", "producer"]
+        edge = graph.edge("producer", "consumer")
+        assert edge.volume == pytest.approx(12.0)  # 3 sends x 4 words
+
+    def test_task_times_from_behavior(self):
+        graph = producer_consumer(n=3).to_task_graph()
+        assert graph.task("producer").sw_time == pytest.approx(30.0)
+        assert graph.task("consumer").sw_time == pytest.approx(18.0)
+
+    def test_annotations_weighted_by_duration(self):
+        proc = ProcessSpec("p", [
+            Compute(10.0, hw_speedup=10.0, parallelism=8.0),
+            Compute(30.0, hw_speedup=2.0, parallelism=1.0),
+        ])
+        spec = SystemSpec([proc, ProcessSpec("q", [Compute(1.0)])], [])
+        task = spec.to_task_graph().task("p")
+        assert task.speedup == pytest.approx((10 * 10 + 30 * 2) / 40)
+        assert task.parallelism == pytest.approx((10 * 8 + 30 * 1) / 40)
+
+    def test_computeless_process_rejected(self):
+        spec = SystemSpec(
+            [ProcessSpec("a", [Send("c")]),
+             ProcessSpec("b", [Receive("c"), Compute(1.0)])],
+            [ChannelSpec("c", "a", "b")],
+        )
+        with pytest.raises(SpecError):
+            spec.to_task_graph()
+
+    def test_refined_graph_feeds_the_flow(self):
+        """Spec -> task graph -> partition: the full Figure 2 nesting."""
+        from repro.core.flow import CodesignFlow
+
+        graph = producer_consumer(n=3).to_task_graph()
+        report = CodesignFlow(graph).run()
+        assert report.simulated_latency_ns > 0
