@@ -205,7 +205,13 @@ def simulate_partition(
             key = (name, edge.dst)
             if key in channels:
                 messages["count"] += 1
-                yield from channels[key].send(sim.now, words=edge.volume)
+                # deliver concurrently: each boundary edge pays its own
+                # latency from the finish time, not queued behind its
+                # siblings (matches the analytic model's per-edge delay)
+                sim.process(
+                    channels[key].send(sim.now, words=edge.volume),
+                    name=f"{name}->{edge.dst}.msg",
+                )
 
     for name in graph.task_names:
         sim.process(task_proc(name), name=name)

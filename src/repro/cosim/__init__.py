@@ -21,6 +21,14 @@ models, from most accurate/most expensive to least:
 All four run on the same generator-based kernel
 (:class:`repro.cosim.kernel.Simulator`), so experiment E3 can hold the
 application constant and vary only the interface model.
+
+Observability: attach a :class:`repro.cosim.trace.Tracer` to the
+simulator (``Simulator(tracer=Tracer())``) to record structured
+execution traces — process lifecycle, event fires, resource grants,
+signal changes, bus/register/channel activity — with per-process and
+per-resource metrics in a :class:`repro.cosim.metrics.MetricsRegistry`,
+exportable as JSON, VCD, or a text summary.  Detached (the default),
+the kernel pays nothing.
 """
 
 from repro.cosim.kernel import (
@@ -28,10 +36,14 @@ from repro.cosim.kernel import (
     Event,
     Interrupt,
     Process,
+    Resource,
+    SimulationError,
     Simulator,
     Timeout,
 )
+from repro.cosim.metrics import Counter, Histogram, MetricsRegistry
 from repro.cosim.signals import Clock, Signal, Trace
+from repro.cosim.trace import TraceRecord, Tracer
 
 __all__ = [
     "Simulator",
@@ -40,7 +52,14 @@ __all__ = [
     "Timeout",
     "AnyOf",
     "Interrupt",
+    "Resource",
+    "SimulationError",
     "Signal",
     "Clock",
     "Trace",
+    "Tracer",
+    "TraceRecord",
+    "MetricsRegistry",
+    "Counter",
+    "Histogram",
 ]

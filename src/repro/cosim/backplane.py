@@ -25,6 +25,7 @@ from typing import Callable, Generator, List, Optional, Tuple
 
 from repro.cosim.bus import SystemBus
 from repro.cosim.kernel import Process, SimulationError, Simulator
+from repro.cosim.trace import ACCESS
 from repro.cosim.msglevel import Channel
 from repro.cosim.pinlevel import PinBusMaster
 from repro.cosim.translevel import RegisterDevice
@@ -210,6 +211,18 @@ class Backplane:
         )
         elapsed = self.sim.now - started
         self.stall_time += elapsed
+        if self.sim.tracer is not None:
+            adapter = type(mount.adapter).__name__
+            self.sim.tracer.emit(
+                ACCESS, f"mount@{mount.base:#x}", addr=access.addr,
+                write=access.is_write, adapter=adapter, stall=elapsed,
+            )
+            self.sim.tracer.metrics.counter(
+                f"backplane.{adapter}.accesses"
+            ).inc()
+            self.sim.tracer.metrics.histogram(
+                f"backplane.{adapter}.stall_ns"
+            ).observe(elapsed)
         stall_cycles = int(round(elapsed / self.clock_period))
         self.cpu.complete_access(
             read_value=(value or 0), extra_cycles=stall_cycles

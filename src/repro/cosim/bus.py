@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator, List, Optional, Tuple
 
 from repro.cosim.kernel import Resource, SimulationError, Simulator
+from repro.cosim.trace import BUS
 
 #: A slave handler: (offset, value, is_write) -> read value (ignored for
 #: writes).  Handlers execute in zero model time; devices needing time
@@ -138,7 +139,8 @@ class SystemBus:
             )
         request_time = self.sim.now
         yield from self._grant.acquire()
-        self.stats.wait_time += self.sim.now - request_time
+        waited = self.sim.now - request_time
+        self.stats.wait_time += waited
         try:
             yield self.sim.timeout(self.arbitration_time)
             duration = self.transfer_time(len(values), slave.extra_cycles)
@@ -146,6 +148,18 @@ class SystemBus:
             self.stats.busy_time += self.arbitration_time + duration
             self.stats.transfers += 1
             self.stats.words += len(values)
+            if self.sim.tracer is not None:
+                self.sim.tracer.emit(
+                    BUS, self.name, addr=addr, words=len(values),
+                    write=is_write, slave=slave.name, waited=waited,
+                    duration=duration,
+                )
+                self.sim.tracer.metrics.counter(
+                    f"bus.{self.name}.transfers"
+                ).inc()
+                self.sim.tracer.metrics.histogram(
+                    f"bus.{self.name}.transfer_ns"
+                ).observe(duration)
             results = []
             for i, value in enumerate(values):
                 offset = addr + i - slave.base

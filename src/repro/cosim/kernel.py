@@ -19,7 +19,19 @@ computationally".
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.cosim.trace import Tracer
 
 
 class SimulationError(RuntimeError):
@@ -62,6 +74,8 @@ class Event:
             raise SimulationError(f"event {self.name!r} already triggered")
         self.triggered = True
         self.value = value
+        if self.sim.tracer is not None:
+            self.sim.tracer.on_event(self, len(self._waiters))
         for proc, token in self._waiters:
             self.sim._schedule(0.0, proc, value, token)
         self._waiters.clear()
@@ -77,6 +91,15 @@ class Event:
             fn(self)
         else:
             self._callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Deregister a pending callback (no-op if absent or already
+        fired).  Lets :class:`AnyOf` prune losing branches so abandoned
+        events don't accumulate dead closures."""
+        try:
+            self._callbacks.remove(fn)
+        except ValueError:
+            pass
 
     def _add_waiter(self, proc: "Process", token: int) -> None:
         if self.triggered:
@@ -150,9 +173,13 @@ class Process:
         if token != self._token:
             return  # stale wakeup from an abandoned waitable
         self.sim.activations += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.on_resume(self)
         try:
             if self._pending_interrupt is not None:
                 exc, self._pending_interrupt = self._pending_interrupt, None
+                if self.sim.tracer is not None:
+                    self.sim.tracer.on_interrupt(self, exc.cause)
                 command = self.gen.throw(exc)
             else:
                 command = self.gen.send(value)
@@ -185,17 +212,28 @@ class Process:
         fired = {"done": False}
 
         def on_fire(event: Event) -> None:
-            if not fired["done"]:
-                fired["done"] = True
-                self.sim._schedule(0.0, self, (event, event.value), token)
+            if fired["done"]:
+                return
+            fired["done"] = True
+            self.sim._schedule(0.0, self, (event, event.value), token)
+            # prune the losing branches: abandoned events must not keep
+            # this closure (and everything it captures) alive for the
+            # rest of the run
+            for other in anyof.events:
+                if other is not event:
+                    other.remove_callback(on_fire)
 
         for event in anyof.events:
             event.add_callback(on_fire)
+            if fired["done"]:
+                break  # an already-triggered event won the race
 
     def _finish(self, result: Any) -> None:
         self._alive = False
         self._token += 1  # invalidate any remaining wakeups
         self.result = result
+        if self.sim.tracer is not None:
+            self.sim.tracer.on_finish(self)
         self.done.succeed(result)
 
     def __repr__(self) -> str:
@@ -227,29 +265,62 @@ class Resource:
         return self._busy
 
     def acquire(self) -> Generator:
-        """Generator: block until the resource is granted to the caller."""
+        """Generator: block until the resource is granted to the caller.
+
+        Interrupt-safe: a waiter interrupted while queued deregisters its
+        grant gate (or, if ownership was already handed to it, passes the
+        grant on to the next live waiter) before re-raising, so an
+        abandoned wait can never leave the resource permanently busy.
+        """
         start = self.sim.now
         if self._busy:
             gate = Event(self.sim, f"{self.name}.grant")
             self._waiters.append(gate)
-            yield gate
+            if self.sim.tracer is not None:
+                self.sim.tracer.on_resource_wait(self, len(self._waiters))
+            try:
+                yield gate
+            except Interrupt:
+                if gate in self._waiters:
+                    # still queued: just give up our place in line
+                    self._waiters.remove(gate)
+                elif gate.triggered:
+                    # release() already handed ownership to us; we are
+                    # abandoning it, so pass the grant along (or free)
+                    self.release()
+                raise
         self._busy = True
         self.acquisitions += 1
-        self.total_wait += self.sim.now - start
+        waited = self.sim.now - start
+        self.total_wait += waited
+        if self.sim.tracer is not None:
+            self.sim.tracer.on_resource_grant(self, waited)
         return self
 
     def release(self) -> None:
-        """Release the resource, granting it to the oldest waiter.
+        """Release the resource, granting it to the oldest *live* waiter.
 
         Ownership is handed off directly (the resource never appears free
         in between), so late arrivals cannot barge past queued waiters.
+        Gates whose waiting process has died or moved on (a stale wait
+        token) are skipped — defense in depth alongside the deregistration
+        in :meth:`acquire`.
         """
         if not self._busy:
             raise SimulationError(f"release of idle resource {self.name!r}")
-        if self._waiters:
-            self._waiters.pop(0).succeed()
-        else:
-            self._busy = False
+        while self._waiters:
+            gate = self._waiters.pop(0)
+            if any(
+                proc._alive and token == proc._token
+                for proc, token in gate._waiters
+            ):
+                gate.succeed()
+                if self.sim.tracer is not None:
+                    self.sim.tracer.on_resource_release(self, True)
+                return
+        self._busy = False
+        if self.sim.tracer is not None:
+            self.sim.tracer.on_resource_release(self, False)
 
 
 class Simulator:
@@ -259,14 +330,26 @@ class Simulator:
       is nanoseconds).
     * :attr:`activations` — total process resumptions so far; the
       simulation-cost metric of experiment E3.
+    * :attr:`tracer` — optional :class:`repro.cosim.trace.Tracer`
+      recording structured execution traces and metrics.  ``None`` (the
+      default) keeps every hot-path hook behind a single ``if``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional["Tracer"] = None) -> None:
         self.now = 0.0
         self.activations = 0
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self)
         self._queue: List[Tuple[float, int, Process, Any, int]] = []
         self._seq = 0
         self._procs: List[Process] = []
+
+    def attach_tracer(self, tracer: "Tracer") -> "Tracer":
+        """Attach (and bind) a tracer after construction; returns it."""
+        self.tracer = tracer
+        tracer.bind(self)
+        return tracer
 
     # ------------------------------------------------------------------
     # construction API
@@ -277,6 +360,8 @@ class Simulator:
             name = f"proc{len(self._procs)}"
         proc = Process(self, gen, name)
         self._procs.append(proc)
+        if self.tracer is not None:
+            self.tracer.on_spawn(proc)
         self._schedule(0.0, proc, None, proc._token)
         return proc
 
@@ -315,12 +400,15 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or model time reaches ``until``.
 
-        Returns the final model time.
+        Returns the final model time.  ``until`` earlier than ``now`` is
+        a no-op: time never moves backwards.
         """
         while self._queue:
             time = self._queue[0][0]
             if until is not None and time > until:
-                self.now = until
+                # advance to the horizon, but never rewind: an `until`
+                # in the past must not drag `now` backwards
+                self.now = max(self.now, until)
                 return self.now
             if not self.step():
                 break

@@ -16,6 +16,7 @@ from collections import deque
 from typing import Any, Deque, Generator, List, Optional, Tuple
 
 from repro.cosim.kernel import Event, SimulationError, Simulator
+from repro.cosim.trace import MSG
 
 
 class Channel:
@@ -85,6 +86,14 @@ class Channel:
             else:
                 self._items.append(item)
         self.sent += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                MSG, self.name, op="send", words=words,
+                pending=len(self._items),
+            )
+            self.sim.tracer.metrics.counter(
+                f"channel.{self.name}.sent"
+            ).inc()
         self._notify_watchers()
 
     def receive(self) -> Generator:
@@ -103,6 +112,13 @@ class Channel:
             self._getters.append(gate)
             item = yield gate
         self.received += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                MSG, self.name, op="receive", pending=len(self._items)
+            )
+            self.sim.tracer.metrics.counter(
+                f"channel.{self.name}.received"
+            ).inc()
         return item
 
     def wait(self) -> Generator:

@@ -19,6 +19,7 @@ from typing import Callable, Generator, List, Optional
 from repro.cosim.bus import SlaveHandler
 from repro.cosim.kernel import Process, Resource, SimulationError, Simulator
 from repro.cosim.signals import Clock, Signal, Trace
+from repro.cosim.trace import PIN
 
 
 class PinBus:
@@ -72,6 +73,7 @@ class PinBusMaster:
 
     def _word(self, addr: int, value: int, is_write: bool) -> Generator:
         bus = self.bus
+        started = bus.sim.now
         yield from bus.grant.acquire()
         try:
             yield from bus.clk.rising_edge()
@@ -88,6 +90,14 @@ class PinBusMaster:
                 yield from bus.clk.rising_edge()
             bus.word_transfers += 1
             self.transfers += 1
+            if bus.sim.tracer is not None:
+                bus.sim.tracer.emit(
+                    PIN, f"{bus.name}.{self.name}", addr=addr,
+                    write=is_write, duration=bus.sim.now - started,
+                )
+                bus.sim.tracer.metrics.counter(
+                    f"pin.{bus.name}.word_transfers"
+                ).inc()
             return result
         finally:
             bus.grant.release()

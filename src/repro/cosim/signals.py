@@ -58,6 +58,8 @@ class Signal:
         self._value = value
         if self.trace is not None:
             self.trace.record(self.sim.now, self.name, value)
+        if self.sim.tracer is not None:
+            self.sim.tracer.on_signal(self.name, value)
         old_event = self._changed
         self._changed = Event(self.sim, f"{self.name}.changed")
         old_event.succeed(value)

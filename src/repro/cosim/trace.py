@@ -1,0 +1,301 @@
+"""Structured execution tracing for the co-simulation kernel.
+
+The paper's Figure 3 trades *accuracy* against *simulation cost*, but a
+single aggregate cost number cannot say where the cost goes.  A
+:class:`Tracer` attached to a :class:`repro.cosim.kernel.Simulator`
+records the kernel's primitive happenings — process spawn / resume /
+finish / interrupt, event fires, resource request / grant / release,
+signal changes, bus transfers, register accesses, channel messages —
+as timestamped structured records, and feeds per-process and
+per-resource metrics into a :class:`repro.cosim.metrics.MetricsRegistry`.
+
+Zero cost when disabled: the kernel's hot paths guard every hook with a
+single ``if tracer is not None`` and a detached simulation allocates
+nothing tracing-related.
+
+Three exporters cover the common consumers:
+
+* :meth:`Tracer.to_vcd` — a Value Change Dump of signal activity and
+  resource (bus-grant) occupancy, for waveform viewers;
+* :meth:`Tracer.to_json` — the full record stream plus metrics, for
+  scripted analysis;
+* :meth:`Tracer.summary` — an aligned text table for humans.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.cosim.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.cosim.kernel import Event, Process, Resource, Simulator
+
+
+# Record kinds.  Plain strings (not an Enum) so records stay cheap to
+# create and trivially JSON-serializable.
+SPAWN = "spawn"          # process registered
+RESUME = "resume"        # process activation (the E3 cost unit)
+FINISH = "finish"        # process terminated
+INTERRUPT = "interrupt"  # Interrupt delivered to a process
+EVENT = "event"          # Event.succeed
+RES_WAIT = "res_wait"    # process queued on a busy resource
+RES_GRANT = "res_grant"  # resource ownership granted
+RES_RELEASE = "res_release"  # resource released (freed or handed off)
+SIGNAL = "signal"        # Signal value change
+BUS = "bus"              # SystemBus transfer completed
+PIN = "pin"              # pin-level word handshake completed
+REG = "reg"              # RegisterDevice access completed
+IRQ = "irq"              # InterruptLine assert / acknowledge
+MSG = "msg"              # Channel send / receive
+ACCESS = "access"        # Backplane external access span
+TASK = "task"            # task execution span (co-synthesis validation)
+COMM = "comm"            # boundary-crossing transfer (partition eval)
+
+
+@dataclass(slots=True)
+class TraceRecord:
+    """One timestamped happening: ``(time, kind, name, data)``."""
+
+    time: float
+    kind: str
+    name: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-friendly form."""
+        out: Dict[str, Any] = {"t": self.time, "kind": self.kind,
+                               "name": self.name}
+        out.update(self.data)
+        return out
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` streams and derived metrics.
+
+    ``max_records`` bounds memory for long runs: once reached, further
+    records are counted in :attr:`dropped` but not stored (metrics keep
+    updating — they are O(1) in space).
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        self.records: List[TraceRecord] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_records = max_records
+        self.dropped = 0
+        self.max_queue_depth = 0
+        self._sim: Optional["Simulator"] = None
+        self._last_resume: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # core
+    # ------------------------------------------------------------------
+    def bind(self, sim: "Simulator") -> None:
+        """Attach to a simulator (done by ``Simulator(tracer=...)``)."""
+        self._sim = sim
+
+    def emit(
+        self,
+        kind: str,
+        name: str,
+        time: Optional[float] = None,
+        **data: Any,
+    ) -> None:
+        """Record one happening.  ``time`` defaults to the bound
+        simulator's current time (0.0 when unbound), so analytic callers
+        like :func:`repro.partition.evaluate.evaluate_partition` can pass
+        their own timeline explicitly."""
+        if time is None:
+            time = self._sim.now if self._sim is not None else 0.0
+        if (
+            self.max_records is not None
+            and len(self.records) >= self.max_records
+        ):
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, kind, name, data))
+
+    # ------------------------------------------------------------------
+    # kernel hooks (called only when a tracer is attached)
+    # ------------------------------------------------------------------
+    def on_spawn(self, proc: "Process") -> None:
+        self.emit(SPAWN, proc.name)
+
+    def on_resume(self, proc: "Process") -> None:
+        sim = self._sim
+        now = sim.now if sim is not None else 0.0
+        depth = len(sim._queue) if sim is not None else 0
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        self.emit(RESUME, proc.name, time=now, queue=depth)
+        m = self.metrics
+        m.counter(f"process.{proc.name}.activations").inc()
+        last = self._last_resume.get(proc.name)
+        if last is not None:
+            m.histogram(f"process.{proc.name}.wait_ns").observe(now - last)
+        self._last_resume[proc.name] = now
+
+    def on_finish(self, proc: "Process") -> None:
+        self.emit(FINISH, proc.name, result=repr(proc.result))
+
+    def on_interrupt(self, proc: "Process", cause: Any) -> None:
+        self.emit(INTERRUPT, proc.name, cause=repr(cause))
+        self.metrics.counter(f"process.{proc.name}.interrupts").inc()
+
+    def on_event(self, event: "Event", waiters: int) -> None:
+        self.emit(EVENT, event.name, waiters=waiters)
+        self.metrics.counter("kernel.events_fired").inc()
+
+    def on_resource_wait(self, resource: "Resource", queue: int) -> None:
+        self.emit(RES_WAIT, resource.name, queue=queue)
+
+    def on_resource_grant(self, resource: "Resource", waited: float) -> None:
+        self.emit(RES_GRANT, resource.name, waited=waited)
+        m = self.metrics
+        m.counter(f"resource.{resource.name}.acquisitions").inc()
+        m.histogram(f"resource.{resource.name}.wait_ns").observe(waited)
+
+    def on_resource_release(
+        self, resource: "Resource", handoff: bool
+    ) -> None:
+        self.emit(RES_RELEASE, resource.name, handoff=handoff)
+
+    def on_signal(self, name: str, value: int) -> None:
+        self.emit(SIGNAL, name, value=value)
+        self.metrics.counter("kernel.signal_changes").inc()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def records_of(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def by_kind(self) -> Dict[str, int]:
+        """Record count per kind (the cheapest cost breakdown)."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The full trace + metrics as a JSON document."""
+        doc = {
+            "records": [r.to_dict() for r in self.records],
+            "dropped": self.dropped,
+            "max_queue_depth": self.max_queue_depth,
+            "metrics": self.metrics.to_dict(),
+        }
+        return json.dumps(doc, indent=indent)
+
+    def write_json(self, path: str, indent: Optional[int] = None) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(indent=indent))
+
+    def to_vcd(self, timescale_ps: int = 1000) -> str:
+        """A Value Change Dump of signal changes and resource occupancy.
+
+        Signals come from :data:`SIGNAL` records (multi-bit vectors);
+        resources appear as 1-bit wires that are high while held, built
+        from :data:`RES_GRANT` / :data:`RES_RELEASE` records (a
+        handoff release keeps the wire high).  Model time (ns) is
+        emitted in ``timescale_ps`` picosecond ticks so fractional-ns
+        event times survive the integer timestamps VCD requires.
+        """
+        changes: Dict[str, List[tuple]] = {}
+        widths: Dict[str, int] = {}
+        for r in self.records:
+            if r.kind == SIGNAL:
+                value = int(r.data.get("value", 0))
+                changes.setdefault(r.name, []).append((r.time, value))
+                widths[r.name] = max(
+                    widths.get(r.name, 1), max(value, 0).bit_length() or 1
+                )
+            elif r.kind == RES_GRANT:
+                wire = f"{r.name}.busy"
+                # repeated grants (handoffs) keep the wire high
+                changes.setdefault(wire, []).append((r.time, 1))
+                widths[wire] = 1
+            elif r.kind == RES_RELEASE and not r.data.get("handoff"):
+                wire = f"{r.name}.busy"
+                changes.setdefault(wire, []).append((r.time, 0))
+                widths[wire] = 1
+
+        def ident(i: int) -> str:
+            # printable VCD identifier codes: '!' (33) .. '~' (126)
+            chars = ""
+            while True:
+                chars += chr(33 + i % 94)
+                i //= 94
+                if i == 0:
+                    return chars
+
+        names = sorted(changes)
+        ids = {name: ident(i) for i, name in enumerate(names)}
+        lines = [
+            "$date repro.cosim.trace $end",
+            f"$timescale {timescale_ps} ps $end",
+            "$scope module cosim $end",
+        ]
+        for name in names:
+            lines.append(
+                f"$var wire {widths[name]} {ids[name]} {name} $end"
+            )
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+
+        timeline: Dict[int, List[str]] = {}
+        for name in names:
+            last = None
+            for t, value in changes[name]:
+                if value == last:
+                    continue
+                last = value
+                tick = int(round(t * 1000 / timescale_ps))
+                if widths[name] == 1:
+                    entry = f"{value}{ids[name]}"
+                else:
+                    entry = f"b{value:b} {ids[name]}"
+                timeline.setdefault(tick, []).append(entry)
+        for tick in sorted(timeline):
+            lines.append(f"#{tick}")
+            lines.extend(timeline[tick])
+        return "\n".join(lines) + "\n"
+
+    def write_vcd(self, path: str, timescale_ps: int = 1000) -> None:
+        """Write :meth:`to_vcd` to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_vcd(timescale_ps=timescale_ps))
+
+    def summary(self) -> str:
+        """Human-readable roll-up: record counts per kind, queue-depth
+        high-water mark, then the metrics table."""
+        lines = [f"trace: {len(self.records)} records"
+                 + (f" ({self.dropped} dropped)" if self.dropped else "")]
+        kinds = self.by_kind()
+        if kinds:
+            width = max(len(k) for k in kinds)
+            for kind in sorted(kinds):
+                lines.append(f"  {kind:<{width}}  {kinds[kind]}")
+        lines.append(f"max event-queue depth: {self.max_queue_depth}")
+        lines.append(self.metrics.summary_table())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({len(self.records)} records, "
+            f"{self.dropped} dropped)"
+        )

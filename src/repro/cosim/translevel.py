@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List, Optional
 
 from repro.cosim.kernel import Event, SimulationError, Simulator
+from repro.cosim.trace import IRQ, REG
 
 
 class InterruptLine:
@@ -44,6 +45,8 @@ class InterruptLine:
         self._pending = True
         self.assertions += 1
         self._asserted_at = self.sim.now
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(IRQ, self.name, asserted=True)
         old, self._event = self._event, Event(self.sim, f"{self.name}.assert")
         old.succeed(self.sim.now)
 
@@ -52,7 +55,13 @@ class InterruptLine:
         if not self._pending:
             raise SimulationError(f"ack of idle interrupt {self.name!r}")
         self._pending = False
-        self.total_latency += self.sim.now - self._asserted_at
+        latency = self.sim.now - self._asserted_at
+        self.total_latency += latency
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(IRQ, self.name, asserted=False)
+            self.sim.tracer.metrics.histogram(
+                f"irq.{self.name}.latency_ns"
+            ).observe(latency)
 
     def wait(self) -> Generator:
         """Generator: block until the line is (or becomes) asserted."""
@@ -102,6 +111,8 @@ class RegisterDevice:
         self._check(index)
         yield self.sim.timeout(self.access_time)
         self.reads += 1
+        if self.sim.tracer is not None:
+            self._trace_access(index, False)
         return self.on_read(index)
 
     def write(self, index: int, value: int) -> Generator:
@@ -109,7 +120,15 @@ class RegisterDevice:
         self._check(index)
         yield self.sim.timeout(self.access_time)
         self.writes += 1
+        if self.sim.tracer is not None:
+            self._trace_access(index, True)
         self.on_write(index, value)
+
+    def _trace_access(self, index: int, is_write: bool) -> None:
+        self.sim.tracer.emit(REG, self.name, index=index, write=is_write)
+        self.sim.tracer.metrics.counter(
+            f"device.{self.name}.accesses"
+        ).inc()
 
     def _check(self, index: int) -> None:
         if not 0 <= index < len(self.regs):

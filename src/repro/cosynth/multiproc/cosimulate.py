@@ -15,12 +15,12 @@ shows up as disagreement here.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
-from repro.cosim.kernel import Event, Simulator
+from repro.cosim.kernel import Event, Resource, Simulator
 from repro.cosim.msglevel import Channel
+from repro.cosim.trace import TASK, Tracer
 from repro.estimate.communication import CommModel, DEFAULT
 from repro.graph.taskgraph import TaskGraph
 from repro.cosynth.multiproc.library import execution_time
@@ -34,6 +34,8 @@ class MultiprocSimulation:
     latency_ns: float
     messages: int
     finish_times: Dict[str, float]
+    activations: int = 0
+    pe_busy_ns: Dict[str, float] = field(default_factory=dict)
 
     def agreement(self, schedule: MultiprocSchedule) -> float:
         """Analytic/simulated makespan ratio (1.0 = perfect)."""
@@ -46,33 +48,20 @@ def simulate_schedule(
     graph: TaskGraph,
     schedule: MultiprocSchedule,
     comm: CommModel = DEFAULT,
+    tracer: Optional[Tracer] = None,
 ) -> MultiprocSimulation:
-    """Re-execute the schedule's mapping under discrete-event rules."""
-    sim = Simulator()
+    """Re-execute the schedule's mapping under discrete-event rules.
+
+    Pass a :class:`repro.cosim.trace.Tracer` to get the full execution
+    profile of the validation run: per-task spans (``task`` records),
+    channel messages, per-PE grant queues, and per-process metrics.
+    """
+    sim = Simulator(tracer=tracer)
     pes = {pe.name: pe for pe in schedule.allocation.instances}
 
-    class _Serial:
-        """One PE: a FIFO-handoff serial resource."""
-
-        def __init__(self, name: str) -> None:
-            self.name = name
-            self.busy = False
-            self.waiters: Deque[Event] = deque()
-
-        def acquire(self):
-            if self.busy:
-                gate = Event(sim, f"{self.name}.grant")
-                self.waiters.append(gate)
-                yield gate
-            self.busy = True
-
-        def release(self) -> None:
-            if self.waiters:
-                self.waiters.popleft().succeed()
-            else:
-                self.busy = False
-
-    units = {name: _Serial(name) for name in pes}
+    # each PE is a serial FIFO-handoff resource from the kernel, so PE
+    # contention shows up in the trace and metrics like any bus grant
+    units = {name: Resource(sim, name) for name in pes}
     done = {name: Event(sim, f"{name}.done") for name in graph.task_names}
     channels: Dict[tuple, Channel] = {}
     counters = {"messages": 0}
@@ -86,6 +75,8 @@ def simulate_schedule(
                 latency_per_word=comm.word_time_ns,
             )
 
+    busy: Dict[str, float] = {name: 0.0 for name in pes}
+
     def task_proc(name: str):
         for edge in graph.in_edges(name):
             key = (edge.src, name)
@@ -96,17 +87,30 @@ def simulate_schedule(
         pe_name = schedule.mapping[name]
         unit = units[pe_name]
         yield from unit.acquire()
+        started = sim.now
         yield sim.timeout(
             execution_time(graph.task(name), pes[pe_name].processor)
         )
         unit.release()
+        busy[pe_name] += sim.now - started
+        if tracer is not None:
+            tracer.emit(
+                TASK, name, time=started, pe=pe_name,
+                duration=sim.now - started,
+            )
         finish[name] = sim.now
         done[name].succeed()
         for edge in graph.out_edges(name):
             key = (name, edge.dst)
             if key in channels:
                 counters["messages"] += 1
-                yield from channels[key].send(sim.now, words=edge.volume)
+                # deliver concurrently: each cross-PE edge pays its own
+                # latency from the finish time, not queued behind its
+                # siblings (matches the scheduler's per-edge delay)
+                sim.process(
+                    channels[key].send(sim.now, words=edge.volume),
+                    name=f"{name}->{edge.dst}.msg",
+                )
 
     for name in graph.task_names:
         sim.process(task_proc(name), name=name)
@@ -120,4 +124,6 @@ def simulate_schedule(
         latency_ns=max(finish.values(), default=0.0),
         messages=counters["messages"],
         finish_times=finish,
+        activations=sim.activations,
+        pe_busy_ns=busy,
     )

@@ -14,6 +14,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.cosim.trace import COMM, TASK, Tracer
 from repro.estimate.incremental import (
     IncrementalEstimator,
     requirements_from_task,
@@ -67,7 +68,9 @@ def hardware_area(
 
 
 def evaluate_partition(
-    problem: PartitionProblem, hw_tasks: Iterable[str]
+    problem: PartitionProblem,
+    hw_tasks: Iterable[str],
+    tracer: Optional[Tracer] = None,
 ) -> Evaluation:
     """List-schedule the partitioned graph and measure it.
 
@@ -76,6 +79,11 @@ def evaluate_partition(
     task).  A task becomes ready when every predecessor has finished
     *and* its data has crossed the boundary if needed; boundary edges pay
     ``problem.comm.transfer_ns(volume)``.
+
+    Pass a :class:`repro.cosim.trace.Tracer` to capture the schedule as
+    a trace: one ``task`` record per execution span (with its domain and
+    unit) and one ``comm`` record per boundary crossing, timestamped on
+    the analytic timeline.
     """
     graph = problem.graph
     hw: Set[str] = set(hw_tasks)
@@ -126,11 +134,30 @@ def evaluate_partition(
             cpu_busy += duration
         start[name] = begin
         finish[name] = begin + duration
+        if tracer is not None:
+            tracer.emit(
+                TASK, name, time=begin, domain="hw" if in_hw else "sw",
+                unit=(f"hw{unit}" if in_hw else "cpu"), duration=duration,
+            )
+            tracer.metrics.counter(
+                f"partition.{'hw' if in_hw else 'sw'}.tasks"
+            ).inc()
+            tracer.metrics.histogram(
+                f"partition.{'hw' if in_hw else 'sw'}.exec_ns"
+            ).observe(duration)
         for edge in graph.out_edges(name):
             crosses = (edge.src in hw) != (edge.dst in hw)
             delay = problem.comm.transfer_ns(edge.volume) if crosses else 0.0
             if crosses:
                 comm_total += delay
+                if tracer is not None:
+                    tracer.emit(
+                        COMM, f"{edge.src}->{edge.dst}", time=finish[name],
+                        volume=edge.volume, delay=delay,
+                    )
+                    tracer.metrics.histogram(
+                        "partition.comm_ns"
+                    ).observe(delay)
             arrival = finish[name] + delay
             if arrival > data_ready[edge.dst]:
                 data_ready[edge.dst] = arrival

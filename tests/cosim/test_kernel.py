@@ -68,6 +68,37 @@ class TestTimeouts:
         sim.run()
         assert sim.now == 100.0
 
+    def test_run_until_in_past_never_rewinds_time(self):
+        """Regression: run(until < now) used to assign now = until,
+        moving model time backwards."""
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(50.0)
+            yield sim.timeout(50.0)
+
+        sim.process(proc())
+        sim.run(until=60.0)
+        assert sim.now == 60.0
+        # a stale horizon must be a no-op, not a time machine
+        assert sim.run(until=10.0) == 60.0
+        assert sim.now == 60.0
+        # and the simulation still completes correctly afterwards
+        sim.run()
+        assert sim.now == 100.0
+
+    def test_run_until_in_past_with_empty_queue(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(5.0)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.now == 5.0
+        assert sim.run(until=1.0) == 5.0
+        assert sim.now == 5.0
+
 
 class TestEvents:
     def test_event_wakes_all_waiters_with_value(self):
@@ -194,6 +225,43 @@ class TestAnyOf:
     def test_anyof_requires_events(self):
         with pytest.raises(SimulationError):
             AnyOf([])
+
+    def test_anyof_prunes_callbacks_on_losing_events(self):
+        """Regression: callbacks registered on events that lose the race
+        used to accumulate for the life of the run."""
+        sim = Simulator()
+        never = sim.event("never")  # loses every race
+
+        def racer(rounds):
+            for _ in range(rounds):
+                winner = sim.event()
+                sim.process(firer(winner))
+                yield AnyOf([never, winner])
+
+        def firer(ev):
+            yield sim.timeout(1.0)
+            ev.succeed()
+
+        sim.process(racer(20))
+        sim.run()
+        assert len(never._callbacks) == 0
+
+    def test_anyof_with_already_triggered_event_does_not_register(self):
+        sim = Simulator()
+        fired = sim.event("fired")
+        fired.succeed("x")
+        pending = sim.event("pending")
+        got = []
+
+        def racer():
+            event, value = yield AnyOf([pending, fired])
+            got.append((event.name, value))
+
+        sim.process(racer())
+        sim.run()
+        assert got == [("fired", "x")]
+        # the losing pending event keeps no dead closure
+        assert len(pending._callbacks) == 0
 
 
 class TestInterrupt:
@@ -348,6 +416,254 @@ class TestResource:
         sim.run()
         assert res.total_wait == pytest.approx(8.0)
         assert res.acquisitions == 2
+
+
+class TestResourceInterrupt:
+    """Regression tests for the grant-leak deadlock: an interrupted
+    waiter used to leave its stale gate queued; release() would succeed
+    it, the wakeup was dropped as stale, and the resource stayed busy
+    forever."""
+
+    def test_interrupted_waiter_does_not_leak_the_grant(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+        log = []
+
+        def holder():
+            yield from res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def victim():
+            yield sim.timeout(1.0)
+            try:
+                yield from res.acquire()
+                log.append("victim acquired")  # pragma: no cover
+            except Interrupt:
+                log.append(("victim interrupted", sim.now))
+
+        def survivor():
+            yield sim.timeout(2.0)
+            yield from res.acquire()
+            log.append(("survivor acquired", sim.now))
+            res.release()
+
+        def interrupter(target):
+            yield sim.timeout(5.0)
+            target.interrupt()
+
+        sim.process(holder())
+        v = sim.process(victim())
+        sim.process(survivor())
+        sim.process(interrupter(v))
+        sim.run()
+        assert ("victim interrupted", 5.0) in log
+        # the grant must reach the next live waiter at release time
+        assert ("survivor acquired", 10.0) in log
+        assert not res.busy
+
+    def test_interrupted_sole_waiter_frees_resource_on_release(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+
+        def holder():
+            yield from res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def victim():
+            yield sim.timeout(1.0)
+            yield from res.acquire()  # dies on the unhandled interrupt
+
+        def interrupter(target):
+            yield sim.timeout(5.0)
+            target.interrupt()
+
+        sim.process(holder())
+        v = sim.process(victim())
+        sim.process(interrupter(v))
+        sim.run()
+        assert not v.alive
+        assert not res.busy  # a later acquire would succeed immediately
+
+    def test_interrupt_after_handoff_regrants_to_next_waiter(self):
+        """Interrupt landing in the same instant as the grant: ownership
+        was already handed to the victim, so it must pass it on."""
+        sim = Simulator()
+        res = Resource(sim, "r")
+        log = []
+
+        def holder():
+            yield from res.acquire()
+            yield sim.timeout(5.0)
+            res.release()  # hands off to victim at t=5
+
+        def victim():
+            yield sim.timeout(1.0)
+            try:
+                yield from res.acquire()
+                log.append("victim acquired")  # pragma: no cover
+            except Interrupt:
+                log.append("victim interrupted")
+
+        def next_in_line():
+            yield sim.timeout(2.0)
+            yield from res.acquire()
+            log.append(("next acquired", sim.now))
+            res.release()
+
+        def interrupter(target):
+            # fires at t=5, scheduled after holder's release wakeup: the
+            # pending interrupt wins over the grant delivery
+            yield sim.timeout(5.0)
+            target.interrupt()
+
+        sim.process(holder())
+        v = sim.process(victim())
+        sim.process(next_in_line())
+        sim.process(interrupter(v))
+        sim.run()
+        assert "victim interrupted" in log
+        assert ("next acquired", 5.0) in log
+        assert not res.busy
+
+    def test_interrupted_waiter_can_reacquire_later(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+        log = []
+
+        def holder():
+            yield from res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def persistent():
+            yield sim.timeout(1.0)
+            try:
+                yield from res.acquire()
+            except Interrupt:
+                yield sim.timeout(20.0)  # back off, then retry
+                yield from res.acquire()
+                log.append(("reacquired", sim.now))
+                res.release()
+
+        def interrupter(target):
+            yield sim.timeout(5.0)
+            target.interrupt()
+
+        sim.process(holder())
+        p = sim.process(persistent())
+        sim.process(interrupter(p))
+        sim.run()
+        assert log == [("reacquired", 25.0)]
+        assert not res.busy
+
+
+class TestResourceAccounting:
+    """total_wait / acquisitions under contention and interruption."""
+
+    def test_contended_waits_accumulate(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+
+        def user(delay, hold):
+            yield sim.timeout(delay)
+            yield from res.acquire()
+            yield sim.timeout(hold)
+            res.release()
+
+        # a: waits 0, holds [0,10); b: arrives 2, waits 8, holds [10,15);
+        # c: arrives 4, waits 11, holds [15,18)
+        sim.process(user(0.0, 10.0))
+        sim.process(user(2.0, 5.0))
+        sim.process(user(4.0, 3.0))
+        sim.run()
+        assert res.acquisitions == 3
+        assert res.total_wait == pytest.approx(8.0 + 11.0)
+        assert not res.busy
+
+    def test_uncontended_acquires_record_zero_wait(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+
+        def user(delay):
+            yield sim.timeout(delay)
+            yield from res.acquire()
+            res.release()
+
+        sim.process(user(0.0))
+        sim.process(user(5.0))
+        sim.run()
+        assert res.acquisitions == 2
+        assert res.total_wait == pytest.approx(0.0)
+
+    def test_interrupted_waiter_counts_no_acquisition(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+
+        def holder():
+            yield from res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def victim():
+            yield sim.timeout(1.0)
+            try:
+                yield from res.acquire()
+            except Interrupt:
+                pass
+
+        def interrupter(target):
+            yield sim.timeout(5.0)
+            target.interrupt()
+
+        sim.process(holder())
+        v = sim.process(victim())
+        sim.process(interrupter(v))
+        sim.run()
+        # only the holder's acquisition counts; the abandoned wait must
+        # contribute neither an acquisition nor wait time
+        assert res.acquisitions == 1
+        assert res.total_wait == pytest.approx(0.0)
+
+    def test_accounting_with_mixed_interrupt_and_contention(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+        order = []
+
+        def holder():
+            yield from res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def victim():
+            yield sim.timeout(1.0)
+            try:
+                yield from res.acquire()
+            except Interrupt:
+                order.append("victim out")
+
+        def survivor():
+            yield sim.timeout(2.0)
+            yield from res.acquire()
+            order.append("survivor in")
+            yield sim.timeout(4.0)
+            res.release()
+
+        def interrupter(target):
+            yield sim.timeout(3.0)
+            target.interrupt()
+
+        sim.process(holder())
+        v = sim.process(victim())
+        sim.process(survivor())
+        sim.process(interrupter(v))
+        sim.run()
+        assert order == ["victim out", "survivor in"]
+        assert res.acquisitions == 2
+        # survivor arrived at 2, acquired at 10
+        assert res.total_wait == pytest.approx(8.0)
+        assert not res.busy
 
 
 class TestAccounting:

@@ -1,0 +1,88 @@
+"""Tests for the metrics layer: counters, histograms, registry."""
+
+import json
+
+import pytest
+
+from repro.cosim.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+
+class TestHistogram:
+    def test_tracks_count_sum_min_max_mean(self):
+        h = Histogram("lat")
+        for v in (1.0, 3.0, 8.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(12.0)
+        assert h.min == pytest.approx(1.0)
+        assert h.max == pytest.approx(8.0)
+        assert h.mean == pytest.approx(4.0)
+
+    def test_empty_histogram_is_safe(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        d = h.to_dict()
+        assert d["count"] == 0
+        assert d["min"] == 0.0
+
+    def test_bucketing_with_custom_bounds(self):
+        h = Histogram("lat", bounds=[10.0, 100.0])
+        for v in (5.0, 10.0, 50.0, 500.0):
+            h.observe(v)
+        # buckets: <=10, <=100, >100
+        assert h.buckets == [2, 1, 1]
+
+    def test_default_bounds_are_powers_of_two(self):
+        h = Histogram("lat")
+        h.observe(3.0)  # lands in the le_4 bucket
+        assert h.to_dict()["buckets"] == {"le_4": 1}
+
+    def test_quantile_is_monotone_and_bounded(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        q50, q90, q99 = h.quantile(0.5), h.quantile(0.9), h.quantile(0.99)
+        assert q50 <= q90 <= q99 <= h.max
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_semantics(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.histogram("h") is m.histogram("h")
+        m.counter("a").inc()
+        assert m.counters["a"].value == 1
+
+    def test_to_dict_is_json_serializable(self):
+        m = MetricsRegistry()
+        m.counter("events").inc(7)
+        m.histogram("wait").observe(2.5)
+        doc = json.loads(json.dumps(m.to_dict()))
+        assert doc["counters"]["events"] == 7
+        assert doc["histograms"]["wait"]["count"] == 1
+
+    def test_summary_table_lists_every_metric(self):
+        m = MetricsRegistry()
+        m.counter("process.cpu.activations").inc(3)
+        m.histogram("process.cpu.wait_ns").observe(10.0)
+        table = m.summary_table()
+        assert "process.cpu.activations" in table
+        assert "process.cpu.wait_ns" in table
+        assert "counters:" in table and "histograms:" in table
+
+    def test_empty_registry_summary(self):
+        assert "no metrics" in MetricsRegistry().summary_table()

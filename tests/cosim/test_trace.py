@@ -1,0 +1,325 @@
+"""Tests for the structured tracing layer and its exporters."""
+
+import json
+
+import pytest
+
+from repro.cosim import trace as tr
+from repro.cosim.bus import SystemBus
+from repro.cosim.kernel import Interrupt, Resource, Simulator
+from repro.cosim.msglevel import Channel
+from repro.cosim.signals import Signal
+from repro.cosim.trace import Tracer
+from repro.cosim.translevel import InterruptLine, RegisterDevice
+
+
+def two_phase_sim(tracer=None):
+    """A tiny simulation: a worker and a poker exchanging one event."""
+    sim = Simulator(tracer=tracer)
+    go = sim.event("go")
+
+    def worker():
+        yield sim.timeout(5.0)
+        yield go
+        return "done"
+
+    def poker():
+        yield sim.timeout(10.0)
+        go.succeed("now")
+
+    sim.process(worker(), name="worker")
+    sim.process(poker(), name="poker")
+    sim.run()
+    return sim
+
+
+class TestKernelHooks:
+    def test_process_lifecycle_is_recorded(self):
+        tracer = Tracer()
+        two_phase_sim(tracer)
+        kinds = tracer.by_kind()
+        assert kinds[tr.SPAWN] == 2
+        assert kinds[tr.FINISH] == 2
+        assert kinds[tr.EVENT] >= 1  # "go" (plus .done events)
+        names = [r.name for r in tracer.records_of(tr.SPAWN)]
+        assert names == ["worker", "poker"]
+
+    def test_resume_records_match_activation_count(self):
+        tracer = Tracer()
+        sim = two_phase_sim(tracer)
+        assert len(tracer.records_of(tr.RESUME)) == sim.activations
+
+    def test_tracing_does_not_change_activations(self):
+        plain = two_phase_sim(None)
+        traced = two_phase_sim(Tracer())
+        assert plain.activations == traced.activations
+        assert plain.now == traced.now
+
+    def test_metrics_count_per_process_activations(self):
+        tracer = Tracer()
+        sim = two_phase_sim(tracer)
+        counters = tracer.metrics.counters
+        per_proc = (
+            counters["process.worker.activations"].value
+            + counters["process.poker.activations"].value
+        )
+        assert per_proc == sim.activations
+
+    def test_wait_time_histogram_records_suspension_gaps(self):
+        tracer = Tracer()
+        two_phase_sim(tracer)
+        h = tracer.metrics.histograms["process.worker.wait_ns"]
+        # worker resumes at t=0 (start), t=5 (timeout), t=10 (event):
+        # two suspension gaps of 5 ns each
+        assert h.count == 2
+        assert h.total == pytest.approx(10.0)
+
+    def test_interrupt_is_recorded(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+
+        def interrupter(target):
+            yield sim.timeout(3.0)
+            target.interrupt("cause!")
+
+        p = sim.process(sleeper(), name="sleeper")
+        sim.process(interrupter(p), name="irq")
+        sim.run()
+        recs = tracer.records_of(tr.INTERRUPT)
+        assert len(recs) == 1
+        assert recs[0].name == "sleeper"
+        assert "cause!" in recs[0].data["cause"]
+        assert tracer.metrics.counters[
+            "process.sleeper.interrupts"
+        ].value == 1
+
+    def test_resource_wait_grant_release_cycle(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        res = Resource(sim, "grant")
+
+        def user(delay, hold):
+            yield sim.timeout(delay)
+            yield from res.acquire()
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.process(user(0.0, 10.0), name="a")
+        sim.process(user(1.0, 2.0), name="b")
+        sim.run()
+        assert len(tracer.records_of(tr.RES_WAIT)) == 1   # b queued
+        assert len(tracer.records_of(tr.RES_GRANT)) == 2
+        rel = tracer.records_of(tr.RES_RELEASE)
+        assert [r.data["handoff"] for r in rel] == [True, False]
+        h = tracer.metrics.histograms["resource.grant.wait_ns"]
+        assert h.count == 2
+        assert h.max == pytest.approx(9.0)  # b waited 1..10
+
+    def test_queue_depth_high_water_mark(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        for _ in range(5):
+            sim.process(proc())
+        sim.run()
+        assert tracer.max_queue_depth >= 4
+
+    def test_max_records_cap_counts_drops(self):
+        tracer = Tracer(max_records=3)
+        sim = two_phase_sim(tracer)
+        assert len(tracer.records) == 3
+        assert tracer.dropped > 0
+        # metrics keep updating past the cap
+        total = sum(
+            c.value for n, c in tracer.metrics.counters.items()
+            if n.endswith(".activations")
+        )
+        assert total == sim.activations
+
+
+class TestDomainHooks:
+    def test_signal_changes_recorded(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        s = Signal(sim, "wire")
+        s.set(1)
+        s.set(1)  # no change, no record
+        s.set(0)
+        recs = tracer.records_of(tr.SIGNAL)
+        assert [(r.name, r.data["value"]) for r in recs] == [
+            ("wire", 1), ("wire", 0)
+        ]
+
+    def test_bus_transfer_recorded(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        bus = SystemBus(sim)
+        bus.attach_slave("ram", 0x0, 16, lambda o, v, w: 7)
+
+        def master():
+            yield from bus.write(0x2, [1, 2, 3])
+
+        sim.process(master())
+        sim.run()
+        recs = tracer.records_of(tr.BUS)
+        assert len(recs) == 1
+        assert recs[0].data["words"] == 3
+        assert recs[0].data["slave"] == "ram"
+        assert tracer.metrics.counters["bus.sysbus.transfers"].value == 1
+
+    def test_register_device_access_recorded(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        dev = RegisterDevice(sim, "dev", 4)
+
+        def driver():
+            yield from dev.write(1, 42)
+            yield from dev.read(1)
+
+        sim.process(driver())
+        sim.run()
+        recs = tracer.records_of(tr.REG)
+        assert [(r.data["index"], r.data["write"]) for r in recs] == [
+            (1, True), (1, False)
+        ]
+
+    def test_irq_assert_ack_recorded_with_latency(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        irq = InterruptLine(sim, "irq0")
+
+        def hw():
+            yield sim.timeout(2.0)
+            irq.assert_()
+
+        def sw():
+            yield from irq.wait()
+            yield sim.timeout(3.0)
+            irq.acknowledge()
+
+        sim.process(hw())
+        sim.process(sw())
+        sim.run()
+        recs = tracer.records_of(tr.IRQ)
+        assert [r.data["asserted"] for r in recs] == [True, False]
+        h = tracer.metrics.histograms["irq.irq0.latency_ns"]
+        assert h.total == pytest.approx(3.0)
+
+    def test_channel_messages_recorded(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        chan = Channel(sim, "pipe")
+
+        def producer():
+            yield from chan.send("x", words=4)
+
+        def consumer():
+            yield from chan.receive()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        ops = [r.data["op"] for r in tracer.records_of(tr.MSG)]
+        assert sorted(ops) == ["receive", "send"]
+        assert tracer.metrics.counters["channel.pipe.sent"].value == 1
+
+
+class TestExporters:
+    def test_json_roundtrip(self):
+        tracer = Tracer()
+        sim = two_phase_sim(tracer)
+        doc = json.loads(tracer.to_json())
+        assert len(doc["records"]) == len(tracer.records)
+        assert doc["records"][0]["kind"] == tr.SPAWN
+        assert doc["metrics"]["counters"][
+            "process.worker.activations"
+        ] >= 1
+        assert doc["dropped"] == 0
+
+    def test_write_json(self, tmp_path):
+        tracer = Tracer()
+        two_phase_sim(tracer)
+        path = tmp_path / "trace.json"
+        tracer.write_json(str(path))
+        assert json.loads(path.read_text())["records"]
+
+    def test_vcd_contains_signals_and_resource_occupancy(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        s = Signal(sim, "data")
+        res = Resource(sim, "grant")
+
+        def driver():
+            yield from res.acquire()
+            s.set(5)
+            yield sim.timeout(2.0)
+            s.set(0)
+            res.release()
+
+        sim.process(driver())
+        sim.run()
+        vcd = tracer.to_vcd()
+        assert "$timescale 1000 ps $end" in vcd
+        assert "$var wire 3" in vcd and "data" in vcd
+        assert "grant.busy" in vcd
+        assert "$enddefinitions $end" in vcd
+        # value changes: b101 for 5, and busy toggles 1 -> 0
+        assert "b101 " in vcd
+        # ticks are in units of the 1000 ps timescale: t=2 ns -> "#2"
+        assert "#0\n" in vcd and "#2\n" in vcd
+
+    def test_vcd_handoff_keeps_busy_wire_high(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        res = Resource(sim, "r")
+
+        def user(delay):
+            yield sim.timeout(delay)
+            yield from res.acquire()
+            yield sim.timeout(5.0)
+            res.release()
+
+        sim.process(user(0.0))
+        sim.process(user(1.0))
+        sim.run()
+        vcd = tracer.to_vcd()
+        # exactly one rise and one fall despite two grants (handoff
+        # collapses: the wire never dips between owners)
+        busy_changes = [
+            line for line in vcd.splitlines()
+            if line.endswith("!") and line[0] in "01"
+        ]
+        assert len(busy_changes) == 2
+
+    def test_write_vcd(self, tmp_path):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        Signal(sim, "s").set(1)
+        path = tmp_path / "wave.vcd"
+        tracer.write_vcd(str(path))
+        assert "$var wire" in path.read_text()
+
+    def test_summary_mentions_kinds_and_metrics(self):
+        tracer = Tracer()
+        two_phase_sim(tracer)
+        text = tracer.summary()
+        assert "records" in text
+        assert tr.RESUME in text
+        assert "process.worker.activations" in text
+        assert "max event-queue depth" in text
+
+    def test_explicit_time_emission_without_simulator(self):
+        tracer = Tracer()
+        tracer.emit(tr.TASK, "t1", time=12.5, domain="hw")
+        assert tracer.records[0].time == 12.5
+        tracer.emit(tr.TASK, "t2")  # unbound: defaults to 0.0
+        assert tracer.records[1].time == 0.0

@@ -63,3 +63,41 @@ class TestBasics:
         # modest tolerance for resource-ordering differences)
         assert sim.latency_ns <= result.deadline * 1.25
         assert len(sim.finish_times) == len(graph)
+
+
+class TestTracedValidation:
+    def test_tracer_captures_task_spans_and_pe_contention(self):
+        from repro.cosim.trace import TASK, Tracer
+
+        graph = random_layered_graph(random.Random(2), n_tasks=8)
+        alloc = Allocation.of({"r32": 1}, LIB)
+        schedule = schedule_on(graph, alloc, NO_COMM)
+        tracer = Tracer()
+        sim = simulate_schedule(graph, schedule, NO_COMM, tracer=tracer)
+        spans = tracer.records_of(TASK)
+        assert len(spans) == len(graph)
+        # span end times match the measured finish times
+        for r in spans:
+            assert r.time + r.data["duration"] == pytest.approx(
+                sim.finish_times[r.name]
+            )
+        # the serial PE shows up as a traced resource
+        grants = tracer.metrics.counters["resource.r32#0.acquisitions"]
+        assert grants.value == len(graph)
+        assert sim.activations > 0
+        assert sum(sim.pe_busy_ns.values()) == pytest.approx(
+            graph.total_time("sw")
+        )
+
+    def test_untraced_run_matches_traced_run(self):
+        from repro.cosim.trace import Tracer
+
+        graph = random_layered_graph(random.Random(7), n_tasks=9)
+        alloc = Allocation.of({"r32": 2}, LIB)
+        schedule = schedule_on(graph, alloc, TIGHT)
+        plain = simulate_schedule(graph, schedule, TIGHT)
+        traced = simulate_schedule(graph, schedule, TIGHT,
+                                   tracer=Tracer())
+        assert plain.latency_ns == pytest.approx(traced.latency_ns)
+        assert plain.activations == traced.activations
+        assert plain.finish_times == traced.finish_times

@@ -5,13 +5,16 @@ rotting as the API evolves.  Each runs in a subprocess with a generous
 timeout and must exit 0 with the output markers its narrative promises.
 """
 
+import json
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 EXPECTED_MARKERS = {
     "quickstart.py": ["speedup over all-software", "cost breakdown"],
@@ -19,10 +22,30 @@ EXPECTED_MARKERS = {
     "multiprocessor_synthesis.py": ["deadline", "binpack"],
     "asip_exploration.py": ["speedup", "reconfigurable"],
     "cosim_abstraction_ladder.py": ["PASS", "pin"],
+    "cosim_trace_ladder.py": [
+        "JSON trace written", "VCD waveform written", "per-process metrics",
+    ],
     "embedded_interface.py": ["UART transmitted", "timer interrupts:  3"],
     "executable_spec_refinement.py": ["step 1", "hardware: yes"],
     "mixed_system.py": ["Mixed Type I / Type II", "matches"],
 }
+
+
+def run_example(name, *args):
+    """Run one example in a subprocess with src/ explicitly on the path,
+    so examples are exercised against the working tree even when the
+    package is not installed."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        env=env,
+    )
 
 
 def test_every_example_is_listed():
@@ -34,14 +57,23 @@ def test_every_example_is_listed():
 
 @pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
 def test_example_runs(name):
-    proc = subprocess.run(
-        [sys.executable, str(EXAMPLES_DIR / name)],
-        capture_output=True,
-        text=True,
-        timeout=240,
-    )
+    proc = run_example(name)
     assert proc.returncode == 0, proc.stderr[-2000:]
     for marker in EXPECTED_MARKERS[name]:
         assert marker in proc.stdout, (
             f"{name}: expected {marker!r} in output"
         )
+
+
+def test_trace_ladder_exports_are_well_formed(tmp_path):
+    """The tracing example must leave behind a parseable JSON trace and
+    a structurally valid VCD in the requested output directory."""
+    proc = run_example("cosim_trace_ladder.py", str(tmp_path))
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    doc = json.loads((tmp_path / "pin_trace.json").read_text())
+    assert doc["records"], "JSON trace has no records"
+    assert doc["metrics"]["counters"], "JSON trace has no metrics"
+    vcd = (tmp_path / "pin_wave.vcd").read_text()
+    assert "$enddefinitions $end" in vcd
+    assert "$var wire" in vcd
+    assert any(line.startswith("#") for line in vcd.splitlines())

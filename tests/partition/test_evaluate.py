@@ -110,3 +110,42 @@ class TestValidation:
     def test_bad_budget_rejected(self):
         with pytest.raises(ValueError):
             PartitionProblem(two_parallel_tasks(), hw_area_budget=-1.0)
+
+
+class TestTracedEvaluation:
+    def test_tracer_records_schedule_profile(self):
+        from repro.cosim.trace import COMM, TASK, Tracer
+
+        g = TaskGraph()
+        g.add_task(Task("a", sw_time=5.0, hw_time=1.0))
+        g.add_task(Task("b", sw_time=5.0, hw_time=2.0))
+        g.add_edge("a", "b", 4.0)
+        comm = CommModel(sync_overhead_ns=3.0, word_time_ns=1.0)
+        problem = PartitionProblem(g, comm=comm)
+        tracer = Tracer()
+        ev = evaluate_partition(problem, ["b"], tracer=tracer)
+
+        spans = {r.name: r for r in tracer.records_of(TASK)}
+        assert spans["a"].data["domain"] == "sw"
+        assert spans["b"].data["domain"] == "hw"
+        assert spans["a"].time == pytest.approx(ev.start_times["a"])
+        assert spans["b"].time == pytest.approx(ev.start_times["b"])
+
+        crossings = tracer.records_of(COMM)
+        assert len(crossings) == 1
+        assert crossings[0].name == "a->b"
+        assert crossings[0].data["delay"] == pytest.approx(ev.comm_ns)
+
+        counters = tracer.metrics.counters
+        assert counters["partition.sw.tasks"].value == 1
+        assert counters["partition.hw.tasks"].value == 1
+
+    def test_tracer_does_not_change_the_evaluation(self):
+        from repro.cosim.trace import Tracer
+
+        g = two_parallel_tasks()
+        problem = PartitionProblem(g, comm=NO_COMM)
+        plain = evaluate_partition(problem, ["b"])
+        traced = evaluate_partition(problem, ["b"], tracer=Tracer())
+        assert plain.latency_ns == traced.latency_ns
+        assert plain.start_times == traced.start_times
