@@ -1,0 +1,86 @@
+"""E11 — Sweep-engine throughput: serial vs parallel vs cached.
+
+The ROADMAP north star asks for running experiments "as fast as the
+hardware allows".  This benchmark drives a 64-cell grid (2 generators x
+2 cost models x 4 deterministic heuristics x 4 seeds) through
+``repro.sweep`` three ways and records the wall-clock for each in
+``BENCH_sweep.json``:
+
+* **cold serial** — ``workers=1``, empty cache;
+* **cold parallel** — ``workers=4``, separate empty cache;
+* **warm** — ``workers=1``, the serial run's cache (every cell served
+  from disk).
+
+Asserted: the warm run finishes in < 10% of the cold-serial time with
+zero recomputation (checked via metrics counters, not timing), and the
+serial/parallel tables are byte-identical.  The >= 2x parallel-speedup
+criterion is asserted only when the machine actually has >= 4 CPUs —
+on fewer cores the honest number is still recorded in the JSON.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cosim.metrics import MetricsRegistry
+from repro.sweep import ResultCache, expand_grid, run_sweep
+
+GRID = dict(
+    generators=["layered", "forkjoin"],
+    n_tasks=[10],
+    cost_models=["default", "comm_heavy"],
+    heuristics=["greedy", "vulcan", "cosyma", "gclp"],
+    seeds=range(4),
+)
+
+RESULT_FILE = Path(__file__).parent / "BENCH_sweep.json"
+
+
+def _timed_sweep(configs, workers, cache, metrics=None):
+    start = time.perf_counter()
+    table = run_sweep(configs, workers=workers, cache=cache,
+                      metrics=metrics)
+    return table, time.perf_counter() - start
+
+
+def test_sweep_serial_parallel_cached(benchmark, tmp_path):
+    configs = expand_grid(**GRID)
+    assert len(configs) >= 64
+
+    serial_cache = ResultCache(tmp_path / "serial")
+    parallel_cache = ResultCache(tmp_path / "parallel")
+
+    serial_table, serial_s = _timed_sweep(configs, 1, serial_cache)
+    parallel_table, parallel_s = _timed_sweep(configs, 4, parallel_cache)
+
+    # determinism: worker count must not leak into the results
+    assert parallel_table.to_json() == serial_table.to_json()
+
+    # warm run: everything served from the serial run's cache
+    metrics = MetricsRegistry()
+    warm_table, warm_s = benchmark.pedantic(
+        _timed_sweep, args=(configs, 1, serial_cache, metrics),
+        rounds=1, iterations=1,
+    )
+    assert warm_table.to_json() == serial_table.to_json()
+    assert metrics.counter("sweep.cells.computed").value == 0
+    assert metrics.counter("sweep.cache.hits").value == len(configs)
+    assert warm_s < 0.10 * serial_s
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert speedup >= 2.0
+
+    record = {
+        "cells": len(configs),
+        "cpus": cpus,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup_parallel4": round(speedup, 3),
+        "warm_s": round(warm_s, 4),
+        "warm_fraction": round(warm_s / serial_s, 4),
+    }
+    RESULT_FILE.write_text(json.dumps(record, indent=2) + "\n")
+    benchmark.extra_info.update(record)

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Parallel partition-heuristic sweep from the command line.
+
+Fan a grid of (graph generator x cost model x heuristic x seed) cells
+across worker processes, cache every completed cell on disk, and print
+the Section 5-style comparison table over the swept workloads.
+
+Grid syntax: each axis is a comma-separated list; seeds also accept
+inclusive ranges ("0-7" or "0-3,8,12-13").  Cells are cached under
+--cache keyed by a fingerprint of the full cell config, so re-running
+with a grown grid only computes the new cells, and a pure re-run
+computes nothing.
+
+Run:  python examples/partition_sweep.py \\
+          --generators layered,forkjoin --cost-models default,comm_heavy \\
+          --heuristics greedy,kl,vulcan,cosyma --seeds 0-3 \\
+          --workers 4 --cache .sweep-cache
+"""
+
+import argparse
+import sys
+
+from repro.cosim.metrics import MetricsRegistry
+from repro.graph.generators import COST_MODELS, GENERATORS
+from repro.partition import HEURISTICS
+from repro.sweep import (
+    COMM_MODELS,
+    ResultCache,
+    expand_grid,
+    parse_seed_spec,
+    run_differential,
+    run_sweep,
+)
+
+
+def _axis(value, known, what):
+    names = [v.strip() for v in value.split(",") if v.strip()]
+    if value.strip() == "all":
+        return sorted(known)
+    for name in names:
+        if name not in known:
+            raise SystemExit(
+                f"unknown {what} {name!r}; known: {', '.join(sorted(known))}"
+            )
+    return names
+
+
+def _optional_float(value):
+    return None if value.lower() in ("none", "off") else float(value)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sweep the partition heuristics over synthetic "
+                    "workload grids."
+    )
+    parser.add_argument("--generators", default="layered",
+                        help="comma list or 'all' "
+                             f"({', '.join(sorted(GENERATORS))})")
+    parser.add_argument("--cost-models", default="default",
+                        help="comma list or 'all' "
+                             f"({', '.join(sorted(COST_MODELS))})")
+    parser.add_argument("--heuristics", default="all",
+                        help="comma list or 'all' "
+                             f"({', '.join(sorted(HEURISTICS))})")
+    parser.add_argument("--comm", default="default",
+                        help="comma list or 'all' "
+                             f"({', '.join(sorted(COMM_MODELS))})")
+    parser.add_argument("--seeds", default="0-3",
+                        help="seed spec: '0-7' or '0,3,9' (default 0-3)")
+    parser.add_argument("--n-tasks", default="12",
+                        help="comma list of workload sizes (default 12)")
+    parser.add_argument("--deadline-factor", type=_optional_float,
+                        default=0.7, metavar="F",
+                        help="deadline = F x all-SW critical path "
+                             "('none' = unconstrained; default 0.7)")
+    parser.add_argument("--budget-factor", type=_optional_float,
+                        default=0.5, metavar="F",
+                        help="area budget = F x total standalone HW area "
+                             "('none' = unbounded; default 0.5)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default 1 = in-process)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="result cache directory (default: no cache)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the result table as canonical JSON")
+    parser.add_argument("--differential", type=int, default=0,
+                        metavar="N",
+                        help="also run the N-problem differential "
+                             "invariant harness")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-run narration")
+    args = parser.parse_args(argv)
+
+    grid = expand_grid(
+        generators=_axis(args.generators, GENERATORS, "generator"),
+        n_tasks=[int(n) for n in args.n_tasks.split(",")],
+        cost_models=_axis(args.cost_models, COST_MODELS, "cost model"),
+        heuristics=_axis(args.heuristics, HEURISTICS, "heuristic"),
+        comm=_axis(args.comm, COMM_MODELS, "comm model"),
+        seeds=parse_seed_spec(args.seeds),
+        deadline_factor=args.deadline_factor,
+        area_budget_factor=args.budget_factor,
+    )
+    cache = ResultCache(args.cache) if args.cache else None
+    metrics = MetricsRegistry()
+
+    if not args.quiet:
+        print(f"sweep: {len(grid)} cells, workers={args.workers}, "
+              f"cache={'off' if cache is None else args.cache}")
+    table = run_sweep(grid, workers=args.workers, cache=cache,
+                      metrics=metrics)
+    if not args.quiet:
+        print(f"  {table.stats.summary()}")
+        print()
+    print(table.comparison_report())
+
+    if args.out:
+        table.write_json(args.out)
+        if not args.quiet:
+            print(f"\nwrote {len(table)} records to {args.out}")
+
+    if args.differential:
+        report = run_differential(n_problems=args.differential)
+        print()
+        print(report.summary())
+        if not report.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,8 @@ the two land and how that changes accepted partitioning moves (E8).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 from repro.graph.cdfg import CDFG
 from repro.graph.taskgraph import Task
@@ -224,3 +225,70 @@ class IncrementalEstimator:
 
     def __len__(self) -> int:
         return len(self._functions)
+
+
+# ----------------------------------------------------------------------
+# cache-aware set evaluation
+# ----------------------------------------------------------------------
+#
+# The incremental estimator makes one *moving* partition cheap to track;
+# a sweep evaluates thousands of *unrelated* partitions, many of which
+# recur (different heuristics on the same problem probe overlapping
+# subsets, and a re-run probes all of them again).  ``shared_area``
+# memoizes the from-scratch evaluation of a whole function set under a
+# canonical key.  Area does not depend on function *names* — only on the
+# multiset of (requirements, registers, states) — so the key drops names
+# entirely, which lets distinct tasks with identical characterizations
+# share one cache line.
+
+#: canonical form of one resident function:
+#: (sorted (component, count) pairs, registers, states)
+EntryKey = Tuple[Tuple[Tuple[str, int], ...], int, int]
+
+
+def entry_key(
+    requirements: Dict[str, int], registers: int, states: int
+) -> EntryKey:
+    """Canonical, hashable form of one function's area inputs."""
+    return (tuple(sorted(requirements.items())), registers, states)
+
+
+def _build_area(entries: Tuple[EntryKey, ...],
+                library: Optional[ComponentLibrary]) -> float:
+    est = IncrementalEstimator(library)
+    for i, (req_items, registers, states) in enumerate(entries):
+        est.add(f"f{i}", dict(req_items), registers=registers, states=states)
+    return est.area
+
+
+@lru_cache(maxsize=65536)
+def _shared_area_default(entries: Tuple[EntryKey, ...]) -> float:
+    return _build_area(entries, None)
+
+
+def shared_area(
+    entries: Tuple[EntryKey, ...],
+    library: Optional[ComponentLibrary] = None,
+) -> float:
+    """Sharing-aware area of a set of functions, memoized.
+
+    ``entries`` is a tuple of :func:`entry_key` values; order does not
+    affect the estimate, so callers should pass the tuple sorted to
+    maximize cache hits.  Only default-library queries are cached (a
+    custom library is not hashable and rare on hot paths).
+    """
+    if not entries:
+        return 0.0
+    if library is None:
+        return _shared_area_default(entries)
+    return _build_area(entries, library)
+
+
+def shared_area_cache_info():
+    """Hit/miss statistics of the memoized set evaluator."""
+    return _shared_area_default.cache_info()
+
+
+def clear_shared_area_cache() -> None:
+    """Drop every memoized set evaluation (for tests and benchmarks)."""
+    _shared_area_default.cache_clear()

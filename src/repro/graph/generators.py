@@ -13,9 +13,10 @@ experiment is reproducible from its seed.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.graph.taskgraph import Task, TaskGraph
 
@@ -285,3 +286,114 @@ def periodic_taskset(
         task.deadline = period
         task.wcet = {k: v * scale for k, v in task.wcet.items()}
     return graph
+
+
+# ----------------------------------------------------------------------
+# registries (the sweep engine's uniform entry points)
+# ----------------------------------------------------------------------
+#
+# Every family above has its own natural parameters (stages, branches,
+# depth, expansions).  The sweep engine wants one knob — "about this
+# many tasks" — so each family gets an adapter that maps ``n_tasks``
+# onto its shape parameters.  Shapes that grow in steps (trees,
+# fork-joins) land *near* ``n_tasks``, not exactly on it.
+
+def _gen_layered(rng: random.Random, n_tasks: int,
+                 costs: TaskCostModel, name: str) -> TaskGraph:
+    return random_layered_graph(rng, n_tasks=n_tasks, costs=costs, name=name)
+
+
+def _gen_pipeline(rng: random.Random, n_tasks: int,
+                  costs: TaskCostModel, name: str) -> TaskGraph:
+    return pipeline_graph(rng, n_stages=n_tasks, costs=costs, name=name)
+
+
+def _gen_forkjoin(rng: random.Random, n_tasks: int,
+                  costs: TaskCostModel, name: str) -> TaskGraph:
+    # fork + join + branches*len interior tasks
+    interior = max(2, n_tasks - 2)
+    branches = max(2, min(4, interior))
+    length = max(1, interior // branches)
+    return fork_join_graph(
+        rng, n_branches=branches, branch_len=length, costs=costs, name=name
+    )
+
+
+def _gen_tree(rng: random.Random, n_tasks: int,
+              costs: TaskCostModel, name: str) -> TaskGraph:
+    # a fanout-2 tree of depth d has 2**(d+1) - 1 nodes
+    depth = max(1, int(math.log2(max(n_tasks, 3) + 1)) - 1)
+    return tree_graph(rng, depth=depth, fanout=2, costs=costs, name=name)
+
+
+def _gen_series_parallel(rng: random.Random, n_tasks: int,
+                         costs: TaskCostModel, name: str) -> TaskGraph:
+    return series_parallel_graph(
+        rng, n_expansions=max(1, n_tasks - 2), costs=costs, name=name
+    )
+
+
+def _gen_comm_skewed(rng: random.Random, n_tasks: int,
+                     costs: TaskCostModel, name: str) -> TaskGraph:
+    return communication_skewed_graph(
+        rng, n_tasks=n_tasks, costs=costs, name=name
+    )
+
+
+def _gen_par_skewed(rng: random.Random, n_tasks: int,
+                    costs: TaskCostModel, name: str) -> TaskGraph:
+    return parallelism_skewed_graph(
+        rng, n_tasks=n_tasks, costs=costs, name=name
+    )
+
+
+#: Generator families by name, each callable as
+#: ``fn(rng, n_tasks, costs, name)``.
+GENERATORS: Dict[str, Callable[[random.Random, int, TaskCostModel, str],
+                               TaskGraph]] = {
+    "layered": _gen_layered,
+    "pipeline": _gen_pipeline,
+    "forkjoin": _gen_forkjoin,
+    "tree": _gen_tree,
+    "series_parallel": _gen_series_parallel,
+    "comm_skewed": _gen_comm_skewed,
+    "par_skewed": _gen_par_skewed,
+}
+
+
+#: Named task-characterization presets the sweep grids draw from.
+#: ``default`` is the TGFF-style baseline; the others skew the economics
+#: toward one medium or stress the communication factor.
+COST_MODELS: Dict[str, TaskCostModel] = {
+    "default": DEFAULT_COSTS,
+    "hw_friendly": TaskCostModel(
+        hw_speedup=(6.0, 16.0), hw_area_per_time=(2.0, 5.0)
+    ),
+    "sw_friendly": TaskCostModel(
+        hw_speedup=(1.5, 4.0), hw_area_per_time=(6.0, 12.0)
+    ),
+    "comm_heavy": TaskCostModel(edge_volume=(32.0, 256.0)),
+}
+
+
+def generate(
+    kind: str,
+    rng: random.Random,
+    n_tasks: int = 12,
+    costs: TaskCostModel = DEFAULT_COSTS,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """Build a graph of family ``kind`` with about ``n_tasks`` tasks.
+
+    The uniform entry point used by :mod:`repro.sweep`: one call shape
+    for every family, so a grid axis can range over family names.
+    """
+    try:
+        builder = GENERATORS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown generator {kind!r}; known: {sorted(GENERATORS)}"
+        ) from None
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    return builder(rng, n_tasks, costs, name or kind)

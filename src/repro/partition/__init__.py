@@ -14,7 +14,7 @@ The package separates three concerns:
   modifiability, nature of computation, concurrency, communication) as a
   weighted cost, each term individually ablatable (experiment E11);
 
-and five algorithms:
+and six algorithms (registered by short name in :data:`HEURISTICS`):
 
 * :func:`repro.partition.greedy.greedy_partition` — best-improvement
   migration;
@@ -28,15 +28,31 @@ and five algorithms:
   criticality / local phase (Kalavade & Lee [1][5]).
 """
 
+from typing import Callable, Dict
+
 from repro.partition.problem import PartitionProblem, PartitionResult
 from repro.partition.evaluate import Evaluation, evaluate_partition
 from repro.partition.cost import CostWeights, partition_cost
+from repro.partition.seeding import resolve_rng
 from repro.partition.greedy import greedy_partition
 from repro.partition.kl import kernighan_lin
 from repro.partition.annealing import simulated_annealing
 from repro.partition.vulcan import vulcan_partition
 from repro.partition.cosyma import cosyma_partition
 from repro.partition.gclp import gclp_partition
+
+#: The six heuristics by short name, each callable through the uniform
+#: signature ``fn(problem, weights=..., seed=...)`` (stochastic ones
+#: honour the seed; deterministic ones accept and ignore it).  This is
+#: the registry the sweep engine and the differential harness iterate.
+HEURISTICS: Dict[str, Callable[..., PartitionResult]] = {
+    "greedy": greedy_partition,
+    "kl": kernighan_lin,
+    "annealing": simulated_annealing,
+    "vulcan": vulcan_partition,
+    "cosyma": cosyma_partition,
+    "gclp": gclp_partition,
+}
 
 __all__ = [
     "PartitionProblem",
@@ -45,10 +61,12 @@ __all__ = [
     "evaluate_partition",
     "CostWeights",
     "partition_cost",
+    "resolve_rng",
     "greedy_partition",
     "kernighan_lin",
     "simulated_annealing",
     "vulcan_partition",
     "cosyma_partition",
     "gclp_partition",
+    "HEURISTICS",
 ]

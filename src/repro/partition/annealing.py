@@ -13,6 +13,7 @@ from typing import FrozenSet, Iterable, Optional
 
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.problem import PartitionProblem, PartitionResult
+from repro.partition.seeding import resolve_rng
 
 
 def simulated_annealing(
@@ -24,6 +25,7 @@ def simulated_annealing(
     cooling: float = 0.95,
     steps_per_temperature: int = 20,
     final_temperature_ratio: float = 1e-3,
+    seed: Optional[int] = None,
 ) -> PartitionResult:
     """Run simulated annealing from ``seed_hw``.
 
@@ -31,8 +33,12 @@ def simulated_annealing(
     (so early uphill moves of a few percent are freely accepted), and the
     schedule cools geometrically until
     ``initial * final_temperature_ratio``.
+
+    The random trajectory is controlled by ``seed`` (an integer) or
+    ``rng`` (a ``random.Random``), never both; with neither, the
+    historical default ``random.Random(0)`` applies.
     """
-    rng = rng or random.Random(0)
+    rng = resolve_rng(seed, rng)
     names = problem.graph.task_names
     hw = frozenset(seed_hw)
     cost, breakdown, evaluation = partition_cost(problem, hw, weights)

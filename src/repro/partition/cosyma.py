@@ -15,18 +15,27 @@ too).
 
 from __future__ import annotations
 
+import random
 from typing import FrozenSet, Optional
 
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.evaluate import evaluate_partition, hardware_area
 from repro.partition.problem import PartitionProblem, PartitionResult
+from repro.partition.seeding import resolve_rng
 
 
 def cosyma_partition(
     problem: PartitionProblem,
     weights: CostWeights = CostWeights(),
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> PartitionResult:
-    """Run software-first hot-spot extraction."""
+    """Run software-first hot-spot extraction.
+
+    Deterministic: ``seed``/``rng`` are accepted for interface
+    uniformity with the stochastic heuristics and ignored.
+    """
+    resolve_rng(seed, rng)  # validate the uniform interface contract
     graph = problem.graph
     hw: FrozenSet[str] = frozenset()
     cost, breakdown, evaluation = partition_cost(problem, hw, weights)

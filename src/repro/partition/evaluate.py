@@ -16,8 +16,9 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.cosim.trace import COMM, TASK, Tracer
 from repro.estimate.incremental import (
-    IncrementalEstimator,
+    entry_key,
     requirements_from_task,
+    shared_area,
 )
 from repro.graph.algorithms import b_levels
 from repro.partition.problem import PartitionProblem
@@ -55,16 +56,15 @@ def hardware_area(
         return 0.0
     if not problem.use_sharing:
         return sum(problem.graph.task(name).hw_area for name in hw)
-    est = IncrementalEstimator()
-    for name in hw:
-        task = problem.graph.task(name)
-        est.add(
-            name,
+    entries = tuple(sorted(
+        entry_key(
             requirements_from_task(task),
             registers=max(2, int(task.sw_size / 8)),
             states=max(4, int(task.hw_time)),
         )
-    return est.area
+        for task in (problem.graph.task(name) for name in hw)
+    ))
+    return shared_area(entries)
 
 
 def evaluate_partition(

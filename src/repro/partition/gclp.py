@@ -24,11 +24,13 @@ attractive at the time.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, FrozenSet, List, Optional
 
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.evaluate import evaluate_partition
 from repro.partition.problem import PartitionProblem, PartitionResult
+from repro.partition.seeding import resolve_rng
 
 
 def _percentile_ranks(values: List[float]) -> List[float]:
@@ -46,8 +48,15 @@ def gclp_partition(
     weights: CostWeights = CostWeights(),
     base_threshold: float = 0.5,
     extremity_gain: float = 0.25,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> PartitionResult:
-    """Run one GCLP pass over the task graph."""
+    """Run one GCLP pass over the task graph.
+
+    Deterministic: ``seed``/``rng`` are accepted for interface
+    uniformity with the stochastic heuristics and ignored.
+    """
+    resolve_rng(seed, rng)  # validate the uniform interface contract
     graph = problem.graph
     names = graph.task_names
 

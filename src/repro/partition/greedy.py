@@ -8,10 +8,12 @@ other algorithm is compared against.
 
 from __future__ import annotations
 
+import random
 from typing import FrozenSet, Iterable, Optional
 
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.problem import PartitionProblem, PartitionResult
+from repro.partition.seeding import resolve_rng
 
 
 def greedy_partition(
@@ -19,8 +21,15 @@ def greedy_partition(
     weights: CostWeights = CostWeights(),
     seed_hw: Iterable[str] = (),
     max_iterations: int = 1000,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> PartitionResult:
-    """Run greedy best-improvement migration."""
+    """Run greedy best-improvement migration.
+
+    Deterministic: ``seed``/``rng`` are accepted for interface
+    uniformity with the stochastic heuristics and ignored.
+    """
+    resolve_rng(seed, rng)  # validate the uniform interface contract
     hw = frozenset(seed_hw)
     cost, breakdown, evaluation = partition_cost(problem, hw, weights)
     moves = 0

@@ -9,10 +9,12 @@ trap pure greedy migration.
 
 from __future__ import annotations
 
+import random
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.problem import PartitionProblem, PartitionResult
+from repro.partition.seeding import resolve_rng
 
 
 def kernighan_lin(
@@ -20,8 +22,15 @@ def kernighan_lin(
     weights: CostWeights = CostWeights(),
     seed_hw: Iterable[str] = (),
     max_passes: int = 10,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> PartitionResult:
-    """Run KL-style passes until a full pass yields no improvement."""
+    """Run KL-style passes until a full pass yields no improvement.
+
+    Deterministic: ``seed``/``rng`` are accepted for interface
+    uniformity with the stochastic heuristics and ignored.
+    """
+    resolve_rng(seed, rng)  # validate the uniform interface contract
     hw = frozenset(seed_hw)
     cost, breakdown, evaluation = partition_cost(problem, hw, weights)
     moves = 0

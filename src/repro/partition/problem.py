@@ -89,6 +89,23 @@ class PartitionResult:
         """Tasks implemented in software."""
         return frozenset(self.problem.graph.task_names) - self.hw_tasks
 
+    @property
+    def area_feasible(self) -> bool:
+        """Whether the partition respects the hardware area budget.
+
+        Heuristics that trade budget violations against the penalty term
+        may legitimately return over-budget partitions; this flag is how
+        such results are marked infeasible rather than silently reported
+        (the sweep tables and the differential harness key off it).
+        """
+        budget = self.problem.hw_area_budget
+        return budget is None or self.evaluation.hw_area <= budget + 1e-9
+
+    @property
+    def feasible(self) -> bool:
+        """Area budget respected *and* deadline met (when constrained)."""
+        return self.area_feasible and self.evaluation.deadline_met
+
     def summary(self) -> str:
         """One-line report."""
         ev = self.evaluation

@@ -1,0 +1,34 @@
+"""Uniform seed/RNG plumbing for the partition heuristics.
+
+The sweep engine (:mod:`repro.sweep`) calls every heuristic through one
+signature, passing a per-cell ``seed`` derived from the cell's config
+fingerprint.  Stochastic heuristics must honour it; deterministic ones
+accept it for interface uniformity and ignore it.  ``resolve_rng``
+centralizes the rules so no heuristic hardcodes ``random.Random(0)``
+in a way the caller cannot override.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+def resolve_rng(
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    default_seed: int = 0,
+) -> random.Random:
+    """The RNG a heuristic should draw from.
+
+    Exactly one of ``seed`` and ``rng`` may be given: an explicit RNG
+    wins (the caller manages its state), a seed builds a fresh
+    ``random.Random(seed)``, and neither falls back to
+    ``random.Random(default_seed)`` — the historical behaviour, kept so
+    results without explicit seeding stay reproducible.
+    """
+    if rng is not None:
+        if seed is not None:
+            raise ValueError("pass seed or rng, not both")
+        return rng
+    return random.Random(default_seed if seed is None else seed)

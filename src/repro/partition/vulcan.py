@@ -14,17 +14,21 @@ impact are small leave hardware first.
 
 from __future__ import annotations
 
+import random
 from typing import FrozenSet, Optional
 
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.evaluate import evaluate_partition
 from repro.partition.problem import PartitionProblem, PartitionResult
+from repro.partition.seeding import resolve_rng
 
 
 def vulcan_partition(
     problem: PartitionProblem,
     weights: CostWeights = CostWeights(),
     slack_factor: float = 1.0,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> PartitionResult:
     """Run hardware-first extraction.
 
@@ -32,7 +36,11 @@ def vulcan_partition(
     otherwise ``slack_factor`` x the all-hardware latency (``1.0`` means
     "no slower than all-hardware", the strictest reading of [6]; values
     above 1 permit bounded degradation).
+
+    Deterministic: ``seed``/``rng`` are accepted for interface
+    uniformity with the stochastic heuristics and ignored.
     """
+    resolve_rng(seed, rng)  # validate the uniform interface contract
     graph = problem.graph
     hw = frozenset(graph.task_names)
     base = evaluate_partition(problem, hw)

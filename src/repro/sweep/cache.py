@@ -1,0 +1,85 @@
+"""On-disk JSON result cache keyed by config fingerprint.
+
+One file per completed cell, named ``<fingerprint>.json``, holding the
+cache version, the fingerprint, the full config (for human inspection
+and paranoia-checking), and the result record.  Anything unreadable,
+version-skewed, or fingerprint-mismatched reads as a miss — the engine
+then recomputes and overwrites, so a corrupt cache can cost time but
+never correctness.
+
+Writes are atomic (temp file + ``os.replace``) so parallel sweeps
+sharing a cache directory never expose half-written entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Bump to invalidate every existing cache entry (record schema change).
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Fingerprint-addressed store of sweep cell records."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where the record for ``fingerprint`` lives (or would live)."""
+        return self.root / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached record, or None on miss/corruption/version skew."""
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict):
+            return None
+        if doc.get("version") != CACHE_VERSION:
+            return None
+        if doc.get("fingerprint") != fingerprint:
+            return None
+        record = doc.get("record")
+        return record if isinstance(record, dict) else None
+
+    def put(self, fingerprint: str, record: Dict[str, Any]) -> None:
+        """Store one record atomically."""
+        doc = {
+            "version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "record": record,
+        }
+        path = self.path_for(fingerprint)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    def fingerprints(self) -> List[str]:
+        """Fingerprints of every entry currently on disk, sorted."""
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, {len(self)} entries)"

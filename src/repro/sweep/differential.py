@@ -1,0 +1,266 @@
+"""Differential / invariant harness for the partition heuristics.
+
+Six heuristics producing numbers that get compared in one table is only
+publishable if all six demonstrably play the same game.  This harness
+runs every heuristic on *identical* problems (same graph bytes, same
+constraints) and checks the shared invariants:
+
+* **assignment totality** — every task on exactly one side of the
+  boundary (HW ∪ SW = all tasks, HW ∩ SW = ∅, no strays);
+* **budget flagging** — the area budget is respected, or the result is
+  flagged infeasible (``PartitionResult.area_feasible``), never a
+  silent violation;
+* **evaluation honesty** — the evaluation carried by the result equals
+  a from-scratch re-evaluation of its partition (no stale schedules);
+* **incremental = from-scratch** — the incremental area estimator,
+  driven through an add/remove/re-add sequence, lands exactly on the
+  from-scratch (and memoized) evaluation that the sweep uses;
+* **cost honesty** — the reported scalar cost equals the cost function
+  recomputed from the partition under the same weights.
+
+Every failure message embeds the cell config's canonical JSON, so any
+violation reproduces with ``SweepConfig.from_dict(...)`` + the named
+heuristic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.estimate.incremental import (
+    IncrementalEstimator,
+    requirements_from_task,
+)
+from repro.graph.taskgraph import TaskGraph
+from repro.partition import (
+    CostWeights,
+    HEURISTICS,
+    PartitionProblem,
+    PartitionResult,
+    evaluate_partition,
+    partition_cost,
+)
+from repro.partition.evaluate import hardware_area
+from repro.sweep.config import COMM_MODELS, SweepConfig
+
+#: relative tolerance for float agreement between two evaluations of
+#: the same partition (pure-Python arithmetic; should agree to the bit,
+#: but summation order inside dict/set iterations may legally differ)
+REL_TOL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= REL_TOL * max(1.0, abs(a), abs(b))
+
+
+def graph_signature(graph: TaskGraph) -> str:
+    """A structural digest of a task graph: same signature ⇒ the
+    heuristics were judged on the same problem."""
+    parts = [graph.name]
+    for name in graph.task_names:
+        task = graph.task(name)
+        parts.append(
+            f"{name}:{task.sw_time!r}:{task.hw_time!r}:{task.hw_area!r}:"
+            f"{task.sw_size!r}:{task.parallelism!r}:{task.modifiability!r}"
+        )
+    for edge in sorted(graph.edges, key=lambda e: (e.src, e.dst)):
+        parts.append(f"{edge.src}->{edge.dst}:{edge.volume!r}")
+    return "|".join(parts)
+
+
+def check_result(
+    problem: PartitionProblem,
+    result: PartitionResult,
+    weights: Optional[CostWeights] = None,
+    label: str = "",
+) -> List[str]:
+    """Check one heuristic result against the shared invariants.
+
+    Returns a list of human-readable failure descriptions (empty when
+    every invariant holds).  ``label`` prefixes each failure so batched
+    reports stay attributable.
+    """
+    weights = weights if weights is not None else CostWeights()
+    failures: List[str] = []
+
+    def fail(message: str) -> None:
+        failures.append(f"{label}: {message}" if label else message)
+
+    names = set(problem.graph.task_names)
+    hw = set(result.hw_tasks)
+    sw = set(result.sw_tasks)
+
+    # 1. assignment totality
+    if not hw <= names:
+        fail(f"hw_tasks outside graph: {sorted(hw - names)}")
+    if hw & sw:
+        fail(f"tasks on both sides: {sorted(hw & sw)}")
+    if (hw | sw) != names:
+        fail(f"unassigned tasks: {sorted(names - (hw | sw))}")
+    if not hw <= names:
+        # a partition naming unknown tasks cannot be re-evaluated; the
+        # remaining checks would only crash on it
+        return failures
+
+    # 2. evaluation honesty: from-scratch re-evaluation agrees
+    fresh = evaluate_partition(problem, result.hw_tasks)
+    carried = result.evaluation
+    for attr in ("latency_ns", "hw_area", "sw_size", "comm_ns",
+                 "cpu_busy_ns", "hw_busy_ns"):
+        a, b = getattr(carried, attr), getattr(fresh, attr)
+        if not _close(a, b):
+            fail(f"stale evaluation: {attr} carried={a!r} fresh={b!r}")
+    if carried.deadline_met != fresh.deadline_met:
+        fail("stale evaluation: deadline_met flag disagrees")
+
+    # 3. budget flagging: respected, or flagged infeasible
+    budget = problem.hw_area_budget
+    over_budget = budget is not None and fresh.hw_area > budget + 1e-9
+    if over_budget and result.area_feasible:
+        fail(
+            f"silent budget violation: area {fresh.hw_area:.1f} > "
+            f"budget {budget:.1f} but area_feasible is True"
+        )
+    if not over_budget and not result.area_feasible:
+        fail("partition within budget but flagged area-infeasible")
+
+    # 4. incremental estimator = from-scratch evaluation, through an
+    #    add / remove-half / re-add sequence (exercises both update
+    #    directions, not just construction)
+    if problem.use_sharing and hw:
+        ordered = sorted(hw)
+        est = IncrementalEstimator()
+        for name in ordered:
+            task = problem.graph.task(name)
+            est.add(
+                name,
+                requirements_from_task(task),
+                registers=max(2, int(task.sw_size / 8)),
+                states=max(4, int(task.hw_time)),
+            )
+        churn = ordered[: (len(ordered) + 1) // 2]
+        for name in churn:
+            est.remove(name)
+        for name in churn:
+            task = problem.graph.task(name)
+            est.add(
+                name,
+                requirements_from_task(task),
+                registers=max(2, int(task.sw_size / 8)),
+                states=max(4, int(task.hw_time)),
+            )
+        scratch = hardware_area(problem, hw)
+        if not _close(est.area, scratch):
+            fail(
+                f"incremental area {est.area!r} != from-scratch "
+                f"area {scratch!r} after add/remove churn"
+            )
+
+    # 5. cost honesty: reported cost equals recomputation
+    recomputed, _breakdown, _evaluation = partition_cost(
+        problem, result.hw_tasks, weights, evaluation=fresh
+    )
+    if not _close(result.cost, recomputed):
+        fail(
+            f"reported cost {result.cost!r} != recomputed "
+            f"{recomputed!r}"
+        )
+
+    return failures
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential run."""
+
+    problems: int = 0
+    results: int = 0
+    checks: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        text = (
+            f"differential: {self.problems} problems x "
+            f"{self.results // max(self.problems, 1)} heuristics, "
+            f"{self.checks} invariant checks: {status}"
+        )
+        if self.failures:
+            text += "\n" + "\n".join(f"  {f}" for f in self.failures)
+        return text
+
+
+def random_problem_config(rng: random.Random,
+                          n_tasks: Sequence[int] = (6, 14)) -> SweepConfig:
+    """Draw one random problem cell (heuristic field left at default;
+    callers rewrite it per heuristic, keeping the problem fields fixed)."""
+    from repro.graph.generators import COST_MODELS, GENERATORS
+
+    return SweepConfig(
+        generator=rng.choice(sorted(GENERATORS)),
+        n_tasks=rng.randint(min(n_tasks), max(n_tasks)),
+        cost_model=rng.choice(sorted(COST_MODELS)),
+        seed=rng.randrange(2 ** 31),
+        comm=rng.choice(sorted(COMM_MODELS)),
+        deadline_factor=rng.choice([None, 0.5, 0.7, 0.9]),
+        area_budget_factor=rng.choice([None, 0.3, 0.5, 0.8]),
+        hw_parallelism=rng.choice([1, 2, None]),
+    )
+
+
+def run_differential(
+    n_problems: int = 50,
+    seed: int = 20260806,
+    heuristics: Optional[Sequence[str]] = None,
+    weights: Optional[CostWeights] = None,
+    n_tasks: Sequence[int] = (6, 14),
+) -> DifferentialReport:
+    """Run all (or the named) heuristics on ``n_problems`` random
+    problems and check every shared invariant.
+
+    Deterministic in ``seed``: a reported failure reproduces by
+    rebuilding the embedded config.  Also asserts that every heuristic
+    of one problem actually saw the identical graph (byte-equal
+    signature) — the precondition for any cross-heuristic claim.
+    """
+    weights = weights if weights is not None else CostWeights()
+    names = sorted(heuristics) if heuristics is not None \
+        else sorted(HEURISTICS)
+    unknown = set(names) - set(HEURISTICS)
+    if unknown:
+        raise KeyError(f"unknown heuristics: {sorted(unknown)}")
+
+    rng = random.Random(seed)
+    report = DifferentialReport(problems=n_problems)
+    for _ in range(n_problems):
+        base = random_problem_config(rng, n_tasks=n_tasks)
+        signatures: Dict[str, str] = {}
+        for heuristic in names:
+            config = SweepConfig.from_dict(
+                {**base.to_dict(), "heuristic": heuristic}
+            )
+            problem = config.build_problem()
+            signatures[heuristic] = graph_signature(problem.graph)
+            result = HEURISTICS[heuristic](
+                problem, weights=weights, seed=config.heuristic_seed()
+            )
+            label = f"{heuristic} on {config.canonical_json()}"
+            failures = check_result(
+                problem, result, weights=weights, label=label
+            )
+            report.results += 1
+            report.checks += 5
+            report.failures.extend(failures)
+        if len(set(signatures.values())) > 1:
+            report.failures.append(
+                f"heuristics saw different graphs for problem "
+                f"{base.problem_key()}: {sorted(signatures)}"
+            )
+        report.checks += 1
+    return report

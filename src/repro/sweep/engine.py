@@ -1,0 +1,188 @@
+"""The parallel experiment-sweep engine.
+
+``run_sweep`` fans a grid of :class:`repro.sweep.config.SweepConfig`
+cells across a ``ProcessPoolExecutor`` and assembles a
+:class:`repro.sweep.table.SweepResult`.  Three properties make the
+numbers trustworthy at scale:
+
+* **Determinism** — every cell's RNG seeds are derived from its config
+  fingerprint (stable hashes), never from worker identity, submission
+  order, or wall-clock; and the result table is ordered by the input
+  grid, not by completion order.  Identical grid + seeds ⇒
+  byte-identical tables at any worker count.
+* **Caching** — an optional :class:`repro.sweep.cache.ResultCache`
+  (fingerprint-keyed JSON files) lets re-runs and incremental grid
+  extensions skip completed cells entirely.
+* **Observability** — progress and cache behaviour are counted in a
+  :class:`repro.cosim.metrics.MetricsRegistry` (PR 1's layer), so tests
+  can assert "this run recomputed nothing" instead of trusting timing.
+
+Wall-clock timings live in :class:`SweepStats`, deliberately *outside*
+the result table, which must stay byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.cosim.metrics import MetricsRegistry
+from repro.cosim.trace import Tracer
+from repro.partition import CostWeights, HEURISTICS
+from repro.sweep.config import SweepConfig
+from repro.sweep.cache import ResultCache
+from repro.sweep.table import SweepResult
+
+#: Trace-record kind emitted per completed/cached cell.
+SWEEP_CELL = "sweep_cell"
+
+
+def run_cell(
+    config: SweepConfig, weights: Optional[CostWeights] = None
+) -> Dict[str, Any]:
+    """Execute one sweep cell: generate, partition, evaluate, record.
+
+    Returns a plain JSON-serializable dict (the table row).  Everything
+    in it is a pure function of the config — no timestamps, no host
+    identity — so rows are comparable and cacheable across machines.
+    """
+    weights = weights if weights is not None else CostWeights()
+    problem = config.build_problem()
+    heuristic = HEURISTICS[config.heuristic]
+    result = heuristic(
+        problem, weights=weights, seed=config.heuristic_seed()
+    )
+    evaluation = result.evaluation
+    return {
+        "fingerprint": config.fingerprint,
+        "problem_key": config.problem_key(),
+        "config": config.to_dict(),
+        "algorithm": result.algorithm,
+        "n_tasks": len(problem.graph),
+        "deadline_ns": problem.deadline_ns,
+        "hw_area_budget": problem.hw_area_budget,
+        "hw_tasks": sorted(result.hw_tasks),
+        "n_hw": len(result.hw_tasks),
+        "n_sw": len(result.sw_tasks),
+        "cost": result.cost,
+        "breakdown": dict(sorted(result.breakdown.items())),
+        "latency_ns": evaluation.latency_ns,
+        "hw_area": evaluation.hw_area,
+        "sw_size": evaluation.sw_size,
+        "comm_ns": evaluation.comm_ns,
+        "overlap_fraction": evaluation.overlap_fraction,
+        "deadline_met": evaluation.deadline_met,
+        "area_feasible": result.area_feasible,
+        "feasible": result.feasible,
+        "moves_evaluated": result.moves_evaluated,
+    }
+
+
+@dataclass
+class SweepStats:
+    """Volatile facts about one engine run (never serialized into the
+    result table, which must stay byte-identical across runs)."""
+
+    cells: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    duplicates: int = 0
+    workers: int = 1
+    elapsed_s: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.cells} cells: {self.cache_hits} cached, "
+            f"{self.computed} computed ({self.duplicates} duplicate), "
+            f"workers={self.workers}, {self.elapsed_s:.2f}s"
+        )
+
+
+def run_sweep(
+    configs: Iterable[SweepConfig],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    weights: Optional[CostWeights] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> SweepResult:
+    """Run every cell of the grid; return the ordered result table.
+
+    ``workers=1`` runs in-process (no pool); ``workers>1`` fans the
+    uncached cells over a ``ProcessPoolExecutor``.  Duplicate configs in
+    the grid are computed once and the row repeated.  The returned
+    table carries a :class:`SweepStats` as ``.stats``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    configs = list(configs)
+    metrics = metrics if metrics is not None else (
+        tracer.metrics if tracer is not None else MetricsRegistry()
+    )
+    t0 = time.perf_counter()
+
+    rows: Dict[str, Dict[str, Any]] = {}
+    pending: List[SweepConfig] = []
+    stats = SweepStats(cells=len(configs), workers=workers)
+    metrics.counter("sweep.cells.total").inc(len(configs))
+    for config in configs:
+        fingerprint = config.fingerprint
+        if fingerprint in rows:
+            stats.duplicates += 1
+            continue
+        cached = cache.get(fingerprint) if cache is not None else None
+        if cached is not None:
+            rows[fingerprint] = cached
+            stats.cache_hits += 1
+            metrics.counter("sweep.cache.hits").inc()
+            if tracer is not None:
+                tracer.emit(SWEEP_CELL, fingerprint, time=0.0, cached=True,
+                            heuristic=config.heuristic)
+        else:
+            # reserve the slot so a duplicate later in the grid is not
+            # submitted twice
+            rows[fingerprint] = {}
+            pending.append(config)
+            metrics.counter("sweep.cache.misses").inc()
+
+    def finish(config: SweepConfig, record: Dict[str, Any],
+               cell_elapsed: float) -> None:
+        rows[config.fingerprint] = record
+        stats.computed += 1
+        metrics.counter("sweep.cells.computed").inc()
+        metrics.histogram("sweep.cell.elapsed_s").observe(cell_elapsed)
+        if cache is not None:
+            cache.put(config.fingerprint, record)
+        if tracer is not None:
+            tracer.emit(SWEEP_CELL, config.fingerprint, time=0.0,
+                        cached=False, heuristic=config.heuristic,
+                        elapsed_s=cell_elapsed)
+
+    if workers == 1 or len(pending) <= 1:
+        for config in pending:
+            cell_t0 = time.perf_counter()
+            record = run_cell(config, weights=weights)
+            finish(config, record, time.perf_counter() - cell_t0)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            submitted = {
+                pool.submit(run_cell, config, weights):
+                    (config, time.perf_counter())
+                for config in pending
+            }
+            outstanding = set(submitted)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    config, cell_t0 = submitted[future]
+                    finish(config, future.result(),
+                           time.perf_counter() - cell_t0)
+
+    stats.elapsed_s = time.perf_counter() - t0
+    table = SweepResult([rows[c.fingerprint] for c in configs])
+    table.stats = stats
+    return table

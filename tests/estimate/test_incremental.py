@@ -7,8 +7,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.estimate.incremental import (
     IncrementalEstimator,
+    clear_shared_area_cache,
+    entry_key,
     requirements_from_cdfg,
     requirements_from_task,
+    shared_area,
+    shared_area_cache_info,
 )
 from repro.graph import kernels
 from repro.graph.taskgraph import Task
@@ -160,3 +164,61 @@ class TestRequirementExtraction:
     def test_deterministic(self):
         t = Task("x", sw_time=5, hw_area=300.0)
         assert requirements_from_task(t) == requirements_from_task(t)
+
+
+class TestSharedAreaCache:
+    """The memoized from-scratch evaluation the sweep engine leans on."""
+
+    def entries(self, *specs):
+        return tuple(sorted(
+            entry_key(requirements, registers, states)
+            for requirements, registers, states in specs
+        ))
+
+    def test_matches_fresh_estimator(self):
+        specs = [(req(adder=2, multiplier=1), 6, 10),
+                 (req(adder=1, logic_unit=2), 4, 8)]
+        est = IncrementalEstimator()
+        for i, (requirements, registers, states) in enumerate(specs):
+            est.add(f"f{i}", requirements,
+                    registers=registers, states=states)
+        assert shared_area(self.entries(*specs)) \
+            == pytest.approx(est.area)
+
+    def test_cache_hit_on_repeat(self):
+        clear_shared_area_cache()
+        entries = self.entries((req(adder=3), 5, 9))
+        first = shared_area(entries)
+        before = shared_area_cache_info().hits
+        second = shared_area(entries)
+        assert second == first
+        assert shared_area_cache_info().hits == before + 1
+
+    def test_name_blind_key_shares_lines(self):
+        """Two distinct tasks with identical characterizations produce
+        one cache entry (names are not part of the key)."""
+        a = Task("alpha", sw_time=6, hw_area=200.0, sw_size=16, hw_time=5)
+        b = Task("beta", sw_time=6, hw_area=200.0, sw_size=16, hw_time=5)
+        key_a = entry_key(requirements_from_task(a), 2, 5)
+        key_b = entry_key(requirements_from_task(b), 2, 5)
+        assert key_a == key_b
+
+    def test_empty_set_is_zero(self):
+        assert shared_area(()) == 0.0
+
+    def test_random_sets_match_incremental(self):
+        rng = random.Random(11)
+        for _ in range(25):
+            specs = [
+                (req(adder=rng.randint(1, 4),
+                     multiplier=rng.randint(0, 3),
+                     logic_unit=rng.randint(0, 2)),
+                 rng.randint(2, 12), rng.randint(4, 20))
+                for _ in range(rng.randint(1, 5))
+            ]
+            est = IncrementalEstimator()
+            for i, (requirements, registers, states) in enumerate(specs):
+                est.add(f"f{i}", requirements,
+                        registers=registers, states=states)
+            assert shared_area(self.entries(*specs)) \
+                == pytest.approx(est.area)

@@ -28,6 +28,7 @@ EXPECTED_MARKERS = {
     "embedded_interface.py": ["UART transmitted", "timer interrupts:  3"],
     "executable_spec_refinement.py": ["step 1", "hardware: yes"],
     "mixed_system.py": ["Mixed Type I / Type II", "matches"],
+    "partition_sweep.py": ["cells", "heuristic", "wins"],
 }
 
 

@@ -8,6 +8,7 @@ from repro.estimate.communication import TIGHT, CommModel
 from repro.graph.generators import random_layered_graph
 from repro.graph.kernels import jpeg_encoder_taskgraph, modem_taskgraph
 from repro.partition import (
+    HEURISTICS,
     CostWeights,
     PartitionProblem,
     cosyma_partition,
@@ -123,6 +124,60 @@ class TestAlgorithmCharacter:
     def test_moves_evaluated_counted(self):
         result = greedy_partition(jpeg_problem())
         assert result.moves_evaluated > 0
+
+
+class TestSeedPlumbing:
+    """ISSUE 2: every heuristic accepts the uniform ``seed``/``rng``
+    interface, and seeds actually steer the stochastic ones."""
+
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_uniform_seed_interface(self, name):
+        """The sweep engine calls every heuristic the same way."""
+        result = HEURISTICS[name](jpeg_problem(), seed=3)
+        assert result.hw_tasks is not None
+
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_seed_and_rng_are_exclusive(self, name):
+        with pytest.raises(ValueError):
+            HEURISTICS[name](
+                jpeg_problem(), seed=1, rng=random.Random(1)
+            )
+
+    def test_sa_seed_kwarg_is_deterministic(self):
+        problem = jpeg_problem()
+        a = simulated_annealing(problem, seed=5)
+        b = simulated_annealing(problem, seed=5)
+        assert a.hw_tasks == b.hw_tasks
+        assert a.cost == pytest.approx(b.cost)
+
+    def test_sa_seed_matches_equivalent_rng(self):
+        problem = jpeg_problem()
+        by_seed = simulated_annealing(problem, seed=9)
+        by_rng = simulated_annealing(problem, rng=random.Random(9))
+        assert by_seed.hw_tasks == by_rng.hw_tasks
+
+    def test_sa_default_still_random_zero(self):
+        """No seed and no rng keeps the historical Random(0) default."""
+        problem = jpeg_problem()
+        default = simulated_annealing(problem)
+        explicit = simulated_annealing(problem, seed=0)
+        assert default.hw_tasks == explicit.hw_tasks
+
+    def test_sa_distinct_seeds_explore_distinct_neighborhoods(self):
+        """Regression for the hardcoded-Random(0) bug: distinct seeds
+        must produce distinct search trajectories.  A short hot schedule
+        keeps the walk from converging, so trajectory differences stay
+        visible in the outcome."""
+        graph = random_layered_graph(random.Random(17), n_tasks=12)
+        problem = PartitionProblem.from_task_graph(graph, comm=TIGHT)
+        outcomes = {
+            simulated_annealing(
+                problem, seed=s, steps_per_temperature=2,
+                cooling=0.5, final_temperature_ratio=0.5,
+            ).hw_tasks
+            for s in range(6)
+        }
+        assert len(outcomes) > 1
 
 
 class TestOnRandomGraphs:

@@ -1,0 +1,73 @@
+"""Tests for the on-disk result cache."""
+
+import json
+
+from repro.sweep import CACHE_VERSION, ResultCache
+
+
+RECORD = {"fingerprint": "f" * 64, "cost": 12.5, "hw_tasks": ["a", "b"]}
+
+
+def test_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    fp = "a" * 64
+    assert cache.get(fp) is None
+    cache.put(fp, RECORD)
+    assert cache.get(fp) == RECORD
+    assert fp in cache
+    assert len(cache) == 1
+
+
+def test_miss_on_absent(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("b" * 64) is None
+    assert ("b" * 64) not in cache
+
+
+def test_corrupt_file_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = "c" * 64
+    cache.path_for(fp).write_text("{not json", encoding="utf-8")
+    assert cache.get(fp) is None
+
+
+def test_version_skew_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = "d" * 64
+    cache.path_for(fp).write_text(json.dumps({
+        "version": CACHE_VERSION + 1, "fingerprint": fp, "record": RECORD,
+    }), encoding="utf-8")
+    assert cache.get(fp) is None
+
+
+def test_fingerprint_mismatch_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = "e" * 64
+    cache.path_for(fp).write_text(json.dumps({
+        "version": CACHE_VERSION, "fingerprint": "0" * 64, "record": RECORD,
+    }), encoding="utf-8")
+    assert cache.get(fp) is None
+
+
+def test_overwrite_replaces(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = "f" * 64
+    cache.put(fp, {"cost": 1.0})
+    cache.put(fp, {"cost": 2.0})
+    assert cache.get(fp) == {"cost": 2.0}
+    assert len(cache) == 1
+
+
+def test_clear_and_listing(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(3):
+        cache.put(f"{i}" * 64, {"cost": float(i)})
+    assert len(cache.fingerprints()) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+
+
+def test_creates_directory(tmp_path):
+    root = tmp_path / "deep" / "nested" / "cache"
+    ResultCache(root)
+    assert root.is_dir()

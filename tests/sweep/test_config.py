@@ -1,0 +1,187 @@
+"""Tests for sweep configs: fingerprints, seeds, grids, problems."""
+
+import json
+
+import pytest
+
+from repro.graph.generators import COST_MODELS, GENERATORS
+from repro.partition import HEURISTICS
+from repro.sweep import (
+    SweepConfig,
+    expand_grid,
+    graph_signature,
+    parse_seed_spec,
+)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        a = SweepConfig(generator="layered", seed=3, heuristic="kl")
+        b = SweepConfig(generator="layered", seed=3, heuristic="kl")
+        assert a.fingerprint == b.fingerprint
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_every_field_changes_it(self):
+        base = SweepConfig()
+        variants = [
+            SweepConfig(generator="pipeline"),
+            SweepConfig(n_tasks=13),
+            SweepConfig(cost_model="comm_heavy"),
+            SweepConfig(heuristic="kl"),
+            SweepConfig(seed=1),
+            SweepConfig(comm="tight"),
+            SweepConfig(deadline_factor=0.8),
+            SweepConfig(deadline_factor=None),
+            SweepConfig(area_budget_factor=None),
+            SweepConfig(hw_parallelism=2),
+        ]
+        prints = {v.fingerprint for v in variants}
+        assert base.fingerprint not in prints
+        assert len(prints) == len(variants)
+
+    def test_fingerprint_is_hex_sha256(self):
+        fp = SweepConfig().fingerprint
+        assert len(fp) == 64
+        int(fp, 16)  # parses as hex
+
+    def test_problem_key_ignores_heuristic(self):
+        a = SweepConfig(heuristic="greedy", seed=7)
+        b = SweepConfig(heuristic="annealing", seed=7)
+        assert a.problem_key() == b.problem_key()
+        assert a.fingerprint != b.fingerprint
+
+    def test_roundtrip_dict(self):
+        config = SweepConfig(generator="tree", n_tasks=9, seed=5,
+                             heuristic="cosyma", deadline_factor=None)
+        clone = SweepConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.fingerprint == config.fingerprint
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(KeyError):
+            SweepConfig.from_dict({"generator": "layered", "bogus": 1})
+
+    def test_canonical_json_is_sorted(self):
+        doc = json.loads(SweepConfig().canonical_json())
+        assert list(doc) == sorted(doc)
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            SweepConfig(generator="nope")
+        with pytest.raises(KeyError):
+            SweepConfig(heuristic="nope")
+        with pytest.raises(KeyError):
+            SweepConfig(cost_model="nope")
+        with pytest.raises(KeyError):
+            SweepConfig(comm="nope")
+        with pytest.raises(ValueError):
+            SweepConfig(n_tasks=0)
+        with pytest.raises(ValueError):
+            SweepConfig(deadline_factor=-1.0)
+
+
+class TestSeedDerivation:
+    def test_graph_seed_independent_of_heuristic(self):
+        seeds = {
+            SweepConfig(heuristic=h, seed=11).graph_seed()
+            for h in HEURISTICS
+        }
+        assert len(seeds) == 1
+
+    def test_graph_seed_varies_with_cell_seed(self):
+        assert SweepConfig(seed=0).graph_seed() \
+            != SweepConfig(seed=1).graph_seed()
+
+    def test_heuristic_seed_varies_with_heuristic(self):
+        a = SweepConfig(heuristic="annealing", seed=2).heuristic_seed()
+        b = SweepConfig(heuristic="greedy", seed=2).heuristic_seed()
+        assert a != b
+
+    def test_derivation_is_pure(self):
+        config = SweepConfig(seed=9)
+        assert config.graph_seed() == config.graph_seed()
+        assert config.heuristic_seed() == config.heuristic_seed()
+
+
+class TestBuildProblem:
+    def test_same_graph_for_every_heuristic(self):
+        signatures = {
+            graph_signature(
+                SweepConfig(heuristic=h, seed=4).build_problem().graph
+            )
+            for h in HEURISTICS
+        }
+        assert len(signatures) == 1
+
+    def test_deadline_and_budget_factors(self):
+        problem = SweepConfig(
+            seed=2, deadline_factor=0.5, area_budget_factor=0.25
+        ).build_problem()
+        all_sw, _path = problem.graph.critical_path("sw")
+        assert problem.deadline_ns == pytest.approx(all_sw * 0.5)
+        total = sum(
+            problem.graph.task(n).hw_area
+            for n in problem.graph.task_names
+        )
+        assert problem.hw_area_budget == pytest.approx(total * 0.25)
+
+    def test_none_factors_mean_unconstrained(self):
+        problem = SweepConfig(
+            deadline_factor=None, area_budget_factor=None
+        ).build_problem()
+        assert problem.deadline_ns is None
+        assert problem.hw_area_budget is None
+
+    def test_every_generator_builds(self):
+        for generator in GENERATORS:
+            problem = SweepConfig(
+                generator=generator, n_tasks=8, seed=1
+            ).build_problem()
+            assert len(problem.graph) >= 1
+
+    def test_every_cost_model_builds(self):
+        for cost_model in COST_MODELS:
+            problem = SweepConfig(
+                cost_model=cost_model, n_tasks=6, seed=1
+            ).build_problem()
+            assert len(problem.graph) >= 1
+
+
+class TestGrid:
+    def test_cartesian_count_and_order(self):
+        grid = expand_grid(
+            generators=("layered", "pipeline"),
+            cost_models=("default", "comm_heavy"),
+            heuristics=("greedy", "vulcan"),
+            seeds=range(4),
+        )
+        assert len(grid) == 2 * 2 * 2 * 4
+        # deterministic order: same call, same sequence
+        again = expand_grid(
+            generators=("layered", "pipeline"),
+            cost_models=("default", "comm_heavy"),
+            heuristics=("greedy", "vulcan"),
+            seeds=range(4),
+        )
+        assert grid == again
+        # all cells distinct
+        assert len({c.fingerprint for c in grid}) == len(grid)
+
+    def test_heuristics_adjacent_within_problem(self):
+        grid = expand_grid(heuristics=("greedy", "kl"), seeds=range(2))
+        # heuristic is an outer axis relative to seed
+        assert [c.heuristic for c in grid] == \
+            ["greedy", "greedy", "kl", "kl"]
+
+
+class TestSeedSpec:
+    def test_ranges_and_lists(self):
+        assert parse_seed_spec("0-3,7,10-11") == [0, 1, 2, 3, 7, 10, 11]
+        assert parse_seed_spec("5") == [5]
+        assert parse_seed_spec("-3") == [-3]
+
+    def test_rejects_empty_and_backward(self):
+        with pytest.raises(ValueError):
+            parse_seed_spec("")
+        with pytest.raises(ValueError):
+            parse_seed_spec("5-2")

@@ -1,0 +1,153 @@
+"""Tests for the differential/invariant harness.
+
+Includes the acceptance run: all six heuristics on 50 random problems
+with every shared invariant checked, plus tests that the harness
+actually *detects* each class of violation (a checker that cannot fail
+is not a checker).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.partition import (
+    CostWeights,
+    HEURISTICS,
+    PartitionResult,
+    evaluate_partition,
+    greedy_partition,
+    partition_cost,
+)
+from repro.sweep import (
+    SweepConfig,
+    check_result,
+    graph_signature,
+    random_problem_config,
+    run_differential,
+)
+
+
+def make_result(problem, hw_tasks=()):
+    cost, breakdown, evaluation = partition_cost(problem, hw_tasks)
+    return PartitionResult(
+        problem=problem,
+        hw_tasks=frozenset(hw_tasks),
+        evaluation=evaluation,
+        cost=cost,
+        breakdown=breakdown,
+        algorithm="test",
+    )
+
+
+class TestAcceptance:
+    def test_fifty_problems_all_heuristics(self):
+        """ISSUE 2 acceptance: differential harness passes on >= 50
+        random problems across all six heuristics."""
+        report = run_differential(n_problems=50, n_tasks=(5, 9))
+        assert report.problems == 50
+        assert report.results == 50 * len(HEURISTICS)
+        assert report.ok, report.summary()
+
+    def test_deterministic_in_seed(self):
+        a = run_differential(n_problems=3, seed=1, n_tasks=(5, 7))
+        b = run_differential(n_problems=3, seed=1, n_tasks=(5, 7))
+        assert a.checks == b.checks
+        assert a.failures == b.failures
+
+    def test_heuristic_subset_and_unknown(self):
+        report = run_differential(
+            n_problems=2, heuristics=["greedy", "gclp"], n_tasks=(5, 6)
+        )
+        assert report.results == 4
+        assert report.ok, report.summary()
+        with pytest.raises(KeyError):
+            run_differential(n_problems=1, heuristics=["nope"])
+
+
+class TestCheckResultDetects:
+    """Each invariant must be violable — inject one defect at a time."""
+
+    def setup_method(self):
+        self.problem = SweepConfig(
+            n_tasks=8, seed=5, area_budget_factor=0.5
+        ).build_problem()
+
+    def test_clean_result_passes(self):
+        result = greedy_partition(self.problem)
+        assert check_result(self.problem, result) == []
+
+    def test_detects_stray_task(self):
+        result = make_result(self.problem)
+        bad = dataclasses.replace(result, hw_tasks=frozenset(["ghost"]))
+        failures = check_result(self.problem, bad)
+        assert any("outside graph" in f for f in failures)
+
+    def test_detects_stale_evaluation(self):
+        names = self.problem.graph.task_names
+        honest = make_result(self.problem, names[:2])
+        stale = dataclasses.replace(
+            honest, evaluation=evaluate_partition(self.problem, [])
+        )
+        failures = check_result(self.problem, stale)
+        assert any("stale evaluation" in f for f in failures)
+
+    def test_detects_cost_mismatch(self):
+        result = make_result(self.problem, self.problem.graph.task_names[:1])
+        lied = dataclasses.replace(result, cost=result.cost + 100.0)
+        failures = check_result(self.problem, lied)
+        assert any("reported cost" in f for f in failures)
+
+    def test_detects_cost_weight_mismatch(self):
+        """A result computed under one weighting fails the check under
+        another — the harness pins weights explicitly."""
+        result = greedy_partition(self.problem, weights=CostWeights())
+        failures = check_result(
+            self.problem, result,
+            weights=CostWeights(communication=9.0),
+        )
+        # greedy lands on a boundary-crossing partition here, so the
+        # reweighted recomputation must differ
+        assert any("reported cost" in f for f in failures)
+
+    def test_over_budget_is_flagged_not_failed(self):
+        """An over-budget partition with an honest infeasibility flag is
+        invariant-clean; the flag is the contract."""
+        tight = SweepConfig(
+            n_tasks=8, seed=5, area_budget_factor=0.01
+        ).build_problem()
+        all_hw = make_result(tight, tight.graph.task_names)
+        assert not all_hw.area_feasible
+        assert check_result(tight, all_hw) == []
+
+    def test_label_prefixes_failures(self):
+        result = make_result(self.problem)
+        bad = dataclasses.replace(result, cost=-1.0)
+        failures = check_result(self.problem, bad, label="unit")
+        assert failures and all(f.startswith("unit:") for f in failures)
+
+
+class TestGraphSignature:
+    def test_same_config_same_signature(self):
+        a = SweepConfig(seed=2).build_problem().graph
+        b = SweepConfig(seed=2).build_problem().graph
+        assert graph_signature(a) == graph_signature(b)
+
+    def test_different_seed_different_signature(self):
+        a = SweepConfig(seed=2).build_problem().graph
+        b = SweepConfig(seed=3).build_problem().graph
+        assert graph_signature(a) != graph_signature(b)
+
+
+class TestRandomProblemConfig:
+    def test_draws_are_valid_and_varied(self):
+        rng = random.Random(0)
+        configs = [random_problem_config(rng) for _ in range(30)]
+        assert len({c.generator for c in configs}) > 1
+        assert len({c.fingerprint for c in configs}) == len(configs)
+
+    def test_respects_task_bounds(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            config = random_problem_config(rng, n_tasks=(4, 6))
+            assert 4 <= config.n_tasks <= 6
