@@ -112,6 +112,41 @@ class Histogram:
             },
         }
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Lossless state dump (full bucket array + bounds), the form
+        :meth:`merge_snapshot` can fold back in.  Unlike :meth:`to_dict`
+        this keeps every bucket, so worker-process deltas can be shipped
+        over a pipe and re-aggregated exactly."""
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Bounds must match — histograms with different bucketing cannot
+        be merged without losing information, so that is an error.
+        """
+        if list(snap["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge snapshot with "
+                f"different bounds"
+            )
+        for i, n in enumerate(snap["buckets"]):
+            self.buckets[i] += n
+        self.count += snap["count"]
+        self.total += snap["total"]
+        if snap["count"]:
+            if snap["min"] < self.min:
+                self.min = snap["min"]
+            if snap["max"] > self.max:
+                self.max = snap["max"]
+
     def __repr__(self) -> str:
         return (
             f"Histogram({self.name!r}, count={self.count}, "
@@ -168,6 +203,37 @@ class MetricsRegistry:
                 for name, h in sorted(self._histograms.items())
             },
         }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A lossless, JSON-serializable dump of every metric.
+
+        Unlike :meth:`to_dict` (a reporting form), a snapshot carries
+        full histogram state and round-trips through
+        :meth:`merge`: take one in a worker process, ship it back over
+        the pool's result pipe, and fold it into the parent registry so
+        counters stay truthful at any worker count.
+        """
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (typically a worker's delta) into
+        this registry.  Counters add; histograms merge bucket-wise
+        (creating them with the snapshot's bounds on first sight)."""
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, hsnap in snap.get("histograms", {}).items():
+            h = self._histograms.get(name)
+            if h is None:
+                h = self.histogram(name, bounds=hsnap["bounds"])
+            h.merge_snapshot(hsnap)
 
     def summary_table(self) -> str:
         """An aligned, human-readable table of all metrics."""

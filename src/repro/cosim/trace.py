@@ -19,6 +19,8 @@ Three exporters cover the common consumers:
   resource (bus-grant) occupancy, for waveform viewers;
 * :meth:`Tracer.to_json` — the full record stream plus metrics, for
   scripted analysis;
+* :meth:`Tracer.to_trace_events` — Chrome trace-event dicts on model
+  time, for the :mod:`repro.obs` Perfetto timeline;
 * :meth:`Tracer.summary` — an aligned text table for humans.
 """
 
@@ -279,6 +281,15 @@ class Tracer:
         """Write :meth:`to_vcd` to ``path``."""
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_vcd(timescale_ps=timescale_ps))
+
+    def to_trace_events(self, pid: int = 0, tid: int = 0) -> list:
+        """The record stream as Chrome trace-event dicts (model time),
+        via :func:`repro.obs.perfetto.kernel_trace_events` — point
+        records become instants, resource occupancy becomes duration
+        spans, so a kernel trace drops straight into the same Perfetto
+        timeline as the wall-clock spans."""
+        from repro.obs.perfetto import kernel_trace_events
+        return kernel_trace_events(self, pid=pid, tid=tid)
 
     def summary(self) -> str:
         """Human-readable roll-up: record counts per kind, queue-depth

@@ -146,6 +146,41 @@ class Profiler:
         """Fraction of program addresses ever executed."""
         return len(self.pc_counts) / program_size if program_size else 0.0
 
+    def to_metrics(
+        self, registry, prefix: str = "isa", top_blocks: int = 5
+    ):
+        """Export the profile into a
+        :class:`repro.cosim.metrics.MetricsRegistry` so COSYMA-style
+        flows read one registry instead of two ad-hoc report formats.
+
+        Counters: ``<prefix>.instructions``, ``<prefix>.cycles``,
+        per-mnemonic ``<prefix>.op.<mn>.count`` / ``.cycles``, and per
+        hot block ``<prefix>.block.<start>_<end>.executions`` /
+        ``.instructions`` (the extraction candidates).  A
+        ``<prefix>.block.size`` histogram records the block-length
+        distribution.  Returns the registry for chaining.
+        """
+        registry.counter(f"{prefix}.instructions").inc(
+            self.total_instructions
+        )
+        registry.counter(f"{prefix}.cycles").inc(self.total_cycles)
+        for op, count in sorted(self.opcode_counts.items()):
+            mn = self.isa.mnemonic(op)
+            registry.counter(f"{prefix}.op.{mn}.count").inc(count)
+            registry.counter(f"{prefix}.op.{mn}.cycles").inc(
+                self.opcode_cycles.get(op, 0)
+            )
+        size_hist = registry.histogram(f"{prefix}.block.size")
+        for block in self.basic_blocks():
+            size_hist.observe(block.size)
+        for block in self.hot_blocks(top_blocks):
+            key = f"{prefix}.block.{block.start:#x}_{block.end:#x}"
+            registry.counter(f"{key}.executions").inc(block.executions)
+            registry.counter(f"{key}.instructions").inc(
+                block.executions * block.size
+            )
+        return registry
+
     def report(self, top: int = 5) -> str:
         """A human-readable profile summary."""
         lines = [

@@ -1,0 +1,90 @@
+"""Aligned-text flamegraph rendering for span traces.
+
+A flamegraph answers "where did the wall-clock go?" without leaving
+the terminal: spans are folded into name-paths (``sweep;cell;greedy``),
+durations aggregated per path across all lanes, and each path rendered
+as an indented row whose bar width is proportional to its share of the
+total traced time.  The hierarchy is re-derived from time containment
+per (pid, tid) lane, so merged worker spans fold correctly even though
+they carry no parent pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.spans import Span, SpanTracer
+
+
+def fold_spans(tracer: "SpanTracer") -> Dict[Tuple[str, ...], Dict]:
+    """Aggregate spans into ``path → {"time": s, "count": n}``.
+
+    The path of a span is the chain of names of the spans that contain
+    it in its own lane (same pid/tid, enclosing time range, smaller
+    depth), ending in its own name.
+    """
+    lanes: Dict[Tuple[int, int], List["Span"]] = {}
+    for span in tracer.finished:
+        lanes.setdefault((span.pid, span.tid), []).append(span)
+
+    folded: Dict[Tuple[str, ...], Dict] = {}
+    for spans in lanes.values():
+        spans.sort(key=lambda s: (s.start, s.depth))
+        stack: List["Span"] = []
+        for span in spans:
+            while stack and not (
+                stack[-1].depth < span.depth
+                and stack[-1].start <= span.start
+                and span.end <= stack[-1].end + 1e-12
+            ):
+                stack.pop()
+            path = tuple(s.name for s in stack) + (span.name,)
+            agg = folded.setdefault(path, {"time": 0.0, "count": 0})
+            agg["time"] += span.duration
+            agg["count"] += 1
+            stack.append(span)
+    return folded
+
+
+def render_flamegraph(tracer: "SpanTracer", width: int = 72) -> str:
+    """The folded spans as an aligned, indented text table.
+
+    Rows are ordered depth-first with siblings by descending time;
+    bars are scaled to the total root time, so a child's bar can never
+    exceed its parent's.
+    """
+    folded = fold_spans(tracer)
+    if not folded:
+        return "(no spans recorded)"
+    total = sum(v["time"] for p, v in folded.items() if len(p) == 1)
+    total = max(total, 1e-12)
+
+    # depth-first order: sort children under their parent prefix
+    def sort_key(item):
+        path, agg = item
+        # build a sortable key: at each level, (-time of that prefix)
+        key = []
+        for i in range(1, len(path) + 1):
+            prefix = path[:i]
+            key.append((-folded[prefix]["time"], prefix[-1]))
+        return key
+
+    rows = sorted(folded.items(), key=sort_key)
+    label_width = max(
+        len("  " * (len(path) - 1) + path[-1]) for path, _ in rows
+    )
+    bar_width = max(width - label_width - 30, 10)
+    lines = [
+        f"flamegraph: {total:.4f}s total across "
+        f"{len(tracer.pids())} lane(s)"
+    ]
+    for path, agg in rows:
+        label = "  " * (len(path) - 1) + path[-1]
+        share = agg["time"] / total
+        bar = "#" * max(1, int(round(share * bar_width)))
+        lines.append(
+            f"{label:<{label_width}}  {agg['time']:>9.4f}s "
+            f"{share:>6.1%} x{agg['count']:<5d} {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Chrome trace-event / Perfetto JSON export and schema validation.
+
+The JSON Array/Object trace-event format (the ``chrome://tracing``
+format, which Perfetto's UI loads directly) is the lingua franca for
+"show me a timeline with lanes".  We emit:
+
+* ``"ph": "X"`` complete events — one per finished :class:`Span`, with
+  microsecond ``ts``/``dur`` normalized to the earliest span;
+* ``"ph": "i"`` instant events — one per :class:`SpanEvent`
+  (convergence samples, cache hits);
+* ``"ph": "M"`` metadata events — ``process_name`` per pid lane, so a
+  merged multi-worker sweep shows named worker swimlanes.
+
+``validate_trace_events`` is the structural gate the tests and the CI
+smoke step use: every event must carry the required keys (``ph``,
+``ts``, ``pid``, ``tid``, ``name``), completes need a non-negative
+``dur``, and the document must be loadable JSON of the object form
+``{"traceEvents": [...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.cosim.trace import Tracer
+    from repro.obs.spans import SpanTracer
+
+#: Keys every trace event must carry (the CI schema check).
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def to_trace_events(tracer: "SpanTracer") -> List[Dict[str, Any]]:
+    """The tracer's merged timeline as a list of trace-event dicts.
+
+    Timestamps are normalized to the earliest recorded instant and
+    scaled to microseconds (the trace-event unit).
+    """
+    spans = tracer.finished
+    events = tracer.events
+    starts = [s.start for s in spans] + [e.time for e in events]
+    origin = min(starts) if starts else 0.0
+
+    def us(t: float) -> float:
+        return round((t - origin) * 1e6, 3)
+
+    out: List[Dict[str, Any]] = []
+    for pid in tracer.pids():
+        label = tracer.lane_names.get(pid, f"pid {pid}")
+        out.append({
+            "ph": "M", "ts": 0, "pid": pid, "tid": 0,
+            "name": "process_name", "args": {"name": label},
+        })
+    for span in sorted(spans, key=lambda s: (s.start, s.depth)):
+        out.append({
+            "ph": "X", "ts": us(span.start), "dur": us(span.end) - us(span.start),
+            "pid": span.pid, "tid": span.tid, "name": span.name,
+            "cat": "span", "args": dict(span.attrs),
+        })
+    for event in sorted(events, key=lambda e: e.time):
+        out.append({
+            "ph": "i", "ts": us(event.time), "pid": event.pid,
+            "tid": event.tid, "name": event.name, "s": "t",
+            "cat": "event", "args": dict(event.attrs),
+        })
+    return out
+
+
+def to_perfetto_json(
+    tracer: "SpanTracer", indent: Optional[int] = None
+) -> str:
+    """The JSON Object Format document Perfetto/chrome://tracing load."""
+    doc = {
+        "traceEvents": to_trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def kernel_trace_events(
+    tracer: "Tracer",
+    pid: int = 0,
+    tid: int = 0,
+    ns_per_us: float = 1000.0,
+) -> List[Dict[str, Any]]:
+    """Bridge a kernel :class:`repro.cosim.trace.Tracer` onto the same
+    timeline format, on *model* time.
+
+    Point records (``resume``, ``event``, ``signal``, ...) become
+    instants; resource occupancy becomes ``X`` spans from each grant to
+    its non-handoff release, one tid lane per resource, so bus
+    utilization renders exactly like the VCD's busy wires but in
+    Perfetto.  Model nanoseconds map to trace microseconds via
+    ``ns_per_us``.
+    """
+    from repro.cosim.trace import RES_GRANT, RES_RELEASE
+
+    def us(t: float) -> float:
+        return round(t / ns_per_us, 6)
+
+    out: List[Dict[str, Any]] = [{
+        "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+        "name": "process_name", "args": {"name": "cosim kernel"},
+    }]
+    open_grants: Dict[str, float] = {}
+    lanes: Dict[str, int] = {}
+    for record in tracer.records:
+        if record.kind == RES_GRANT:
+            # a handoff grant on an already-open resource extends the
+            # current span; only the first grant opens one
+            open_grants.setdefault(record.name, record.time)
+            continue
+        if record.kind == RES_RELEASE:
+            if record.data.get("handoff"):
+                continue
+            start = open_grants.pop(record.name, record.time)
+            lane = lanes.setdefault(record.name, tid + 1 + len(lanes))
+            out.append({
+                "ph": "X", "ts": us(start),
+                "dur": max(us(record.time) - us(start), 0.0),
+                "pid": pid, "tid": lane,
+                "name": f"{record.name}.busy", "cat": "resource",
+                "args": {},
+            })
+            continue
+        out.append({
+            "ph": "i", "ts": us(record.time), "pid": pid, "tid": tid,
+            "name": f"{record.kind}:{record.name}", "s": "t",
+            "cat": record.kind, "args": dict(record.data),
+        })
+    for name, start in sorted(open_grants.items()):  # still held at end
+        lane = lanes.setdefault(name, tid + 1 + len(lanes))
+        out.append({
+            "ph": "X", "ts": us(start), "dur": 0.0, "pid": pid,
+            "tid": lane, "name": f"{name}.busy", "cat": "resource",
+            "args": {"open": True},
+        })
+    return out
+
+
+def validate_trace_events(doc: Any) -> List[str]:
+    """Structural schema check; returns a list of problems (empty =
+    valid).  ``doc`` may be a JSON string or an already-parsed object.
+    """
+    problems: List[str] = []
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            return [f"not valid JSON: {exc}"]
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return ["object form must carry a 'traceEvents' list"]
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        return [f"expected object or array form, got {type(doc).__name__}"]
+
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key in REQUIRED_KEYS:
+            if key not in event:
+                problems.append(f"event {i}: missing required key {key!r}")
+        ph = event.get("ph")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"event {i}: complete event needs non-negative dur"
+                )
+        ts = event.get("ts")
+        if ts is not None and not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: ts must be numeric")
+    return problems

@@ -33,7 +33,11 @@ from typing import Callable, Dict
 from repro.partition.problem import PartitionProblem, PartitionResult
 from repro.partition.evaluate import Evaluation, evaluate_partition
 from repro.partition.cost import CostWeights, partition_cost
-from repro.partition.seeding import resolve_rng
+from repro.partition.seeding import (
+    ProgressProbe,
+    ProgressRecord,
+    resolve_rng,
+)
 from repro.partition.greedy import greedy_partition
 from repro.partition.kl import kernighan_lin
 from repro.partition.annealing import simulated_annealing
@@ -42,9 +46,11 @@ from repro.partition.cosyma import cosyma_partition
 from repro.partition.gclp import gclp_partition
 
 #: The six heuristics by short name, each callable through the uniform
-#: signature ``fn(problem, weights=..., seed=...)`` (stochastic ones
-#: honour the seed; deterministic ones accept and ignore it).  This is
-#: the registry the sweep engine and the differential harness iterate.
+#: signature ``fn(problem, weights=..., seed=..., probe=...)``
+#: (stochastic ones honour the seed; deterministic ones accept and
+#: ignore it; all report convergence to an attached
+#: :class:`ProgressProbe`).  This is the registry the sweep engine and
+#: the differential harness iterate.
 HEURISTICS: Dict[str, Callable[..., PartitionResult]] = {
     "greedy": greedy_partition,
     "kl": kernighan_lin,
@@ -62,6 +68,8 @@ __all__ = [
     "CostWeights",
     "partition_cost",
     "resolve_rng",
+    "ProgressProbe",
+    "ProgressRecord",
     "greedy_partition",
     "kernighan_lin",
     "simulated_annealing",

@@ -13,7 +13,7 @@ from typing import FrozenSet, Iterable, Optional
 
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.problem import PartitionProblem, PartitionResult
-from repro.partition.seeding import resolve_rng
+from repro.partition.seeding import ProgressProbe, resolve_rng
 
 
 def simulated_annealing(
@@ -26,6 +26,7 @@ def simulated_annealing(
     steps_per_temperature: int = 20,
     final_temperature_ratio: float = 1e-3,
     seed: Optional[int] = None,
+    probe: Optional[ProgressProbe] = None,
 ) -> PartitionResult:
     """Run simulated annealing from ``seed_hw``.
 
@@ -36,7 +37,11 @@ def simulated_annealing(
 
     The random trajectory is controlled by ``seed`` (an integer) or
     ``rng`` (a ``random.Random``), never both; with neither, the
-    historical default ``random.Random(0)`` applies.
+    historical default ``random.Random(0)`` applies.  An attached
+    ``probe`` receives one convergence record per temperature level
+    (current cost, best cost, temperature, accepted/rejected counts) —
+    compact enough for long schedules, detailed enough to plot the
+    cooling trajectory.
     """
     rng = resolve_rng(seed, rng)
     names = problem.graph.task_names
@@ -50,7 +55,12 @@ def simulated_annealing(
         else max(abs(cost), 1.0) * 0.1
     )
     floor = temperature * final_temperature_ratio
+    if probe is not None:
+        probe.record("annealing", cost, temperature=temperature,
+                     accepted_moves=0, rejected_moves=0)
     while temperature > floor:
+        level_accepted = 0
+        level_rejected = 0
         for _ in range(steps_per_temperature):
             name = rng.choice(names)
             candidate = hw - {name} if name in hw else hw | {name}
@@ -60,10 +70,21 @@ def simulated_annealing(
             moves += 1
             delta = cand_cost - cost
             if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                level_accepted += 1
                 hw, cost = candidate, cand_cost
                 breakdown, evaluation = cand_break, cand_eval
                 if cost < best[0]:
                     best = (cost, hw, breakdown, evaluation)
+            else:
+                level_rejected += 1
+        if probe is not None:
+            probe.record(
+                "annealing", cost, best_cost=best[0],
+                accepted=level_accepted > 0,
+                temperature=temperature,
+                accepted_moves=level_accepted,
+                rejected_moves=level_rejected,
+            )
         temperature *= cooling
     cost, hw, breakdown, evaluation = best
     return PartitionResult(

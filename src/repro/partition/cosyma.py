@@ -21,7 +21,7 @@ from typing import FrozenSet, Optional
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.evaluate import evaluate_partition, hardware_area
 from repro.partition.problem import PartitionProblem, PartitionResult
-from repro.partition.seeding import resolve_rng
+from repro.partition.seeding import ProgressProbe, resolve_rng
 
 
 def cosyma_partition(
@@ -29,17 +29,24 @@ def cosyma_partition(
     weights: CostWeights = CostWeights(),
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    probe: Optional[ProgressProbe] = None,
 ) -> PartitionResult:
     """Run software-first hot-spot extraction.
 
     Deterministic: ``seed``/``rng`` are accepted for interface
-    uniformity with the stochastic heuristics and ignored.
+    uniformity with the stochastic heuristics and ignored.  An attached
+    ``probe`` receives one convergence record per extraction (the task
+    moved to hardware, the cost and latency after the move, and whether
+    the move was a deadline-forced fallback).
     """
     resolve_rng(seed, rng)  # validate the uniform interface contract
     graph = problem.graph
     hw: FrozenSet[str] = frozenset()
     cost, breakdown, evaluation = partition_cost(problem, hw, weights)
     moves = 0
+    if probe is not None:
+        probe.record("cosyma", cost, task=None,
+                     latency_ns=evaluation.latency_ns, forced=False)
 
     while True:
         deadline_missed = (
@@ -77,15 +84,23 @@ def cosyma_partition(
                 accept = cand_cost < cost - 1e-9
             if accept and (best is None or key < best[0]):
                 best = (key, candidate, cand_cost, cand_break, cand_eval)
+        forced = False
         if best is None:
             # deadline still missed and no single move helps: force the
             # least-latency move anyway (monotone toward all-hardware,
             # which is the fastest partition available)
             if deadline_missed and fallback is not None:
                 best = fallback
+                forced = True
             else:
                 break
+        prev_hw = hw
         _key, hw, cost, breakdown, evaluation = best
+        if probe is not None:
+            extracted = next(iter(hw - prev_hw), None)
+            probe.record("cosyma", cost, task=extracted,
+                         latency_ns=evaluation.latency_ns, forced=forced,
+                         moves_evaluated=moves)
 
     return PartitionResult(
         problem=problem,

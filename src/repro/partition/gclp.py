@@ -30,7 +30,7 @@ from typing import Dict, FrozenSet, List, Optional
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.evaluate import evaluate_partition
 from repro.partition.problem import PartitionProblem, PartitionResult
-from repro.partition.seeding import resolve_rng
+from repro.partition.seeding import ProgressProbe, resolve_rng
 
 
 def _percentile_ranks(values: List[float]) -> List[float]:
@@ -50,11 +50,15 @@ def gclp_partition(
     extremity_gain: float = 0.25,
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    probe: Optional[ProgressProbe] = None,
 ) -> PartitionResult:
     """Run one GCLP pass over the task graph.
 
     Deterministic: ``seed``/``rng`` are accepted for interface
-    uniformity with the stochastic heuristics and ignored.
+    uniformity with the stochastic heuristics and ignored.  An attached
+    ``probe`` receives one convergence record per node decision — the
+    global criticality, the node's extremity-shifted threshold, and the
+    chosen side — plus one per repair-phase move.
     """
     resolve_rng(seed, rng)  # validate the uniform interface contract
     graph = problem.graph
@@ -105,14 +109,23 @@ def gclp_partition(
                 and marginal_gain / task.hw_area > 0.5
                 and extremity[node] > 0.2
             )
+        applied = False
         if choose_hw:
             candidate = hw | {node}
+            blocked = False
             if problem.hw_area_budget is not None:
                 area = evaluate_partition(problem, candidate).hw_area
                 moves += 1
-                if area > problem.hw_area_budget:
-                    continue
-            hw = candidate
+                blocked = area > problem.hw_area_budget
+            if not blocked:
+                hw = candidate
+                applied = True
+        if probe is not None:
+            probe.record(
+                "gclp", pessimistic, accepted=applied,
+                criticality=gc, threshold=threshold, task=node,
+                to_hw=choose_hw, moves_evaluated=moves,
+            )
 
     # repair phase: GCLP implementations wrap the pass in an outer loop
     # that tightens the mapping when the deadline is still missed; we
@@ -141,6 +154,12 @@ def gclp_partition(
                 hw = candidate
                 evaluation = cand_eval
                 moved = True
+                if probe is not None:
+                    probe.record(
+                        "gclp", cand_eval.latency_ns, criticality=1.0,
+                        threshold=0.0, task=node, to_hw=True,
+                        repair=True, moves_evaluated=moves,
+                    )
                 break
             if not moved:
                 break

@@ -13,7 +13,7 @@ from typing import FrozenSet, Iterable, Optional
 
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.problem import PartitionProblem, PartitionResult
-from repro.partition.seeding import resolve_rng
+from repro.partition.seeding import ProgressProbe, resolve_rng
 
 
 def greedy_partition(
@@ -23,16 +23,20 @@ def greedy_partition(
     max_iterations: int = 1000,
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    probe: Optional[ProgressProbe] = None,
 ) -> PartitionResult:
     """Run greedy best-improvement migration.
 
     Deterministic: ``seed``/``rng`` are accepted for interface
-    uniformity with the stochastic heuristics and ignored.
+    uniformity with the stochastic heuristics and ignored.  An attached
+    ``probe`` receives one convergence record per accepted migration.
     """
     resolve_rng(seed, rng)  # validate the uniform interface contract
     hw = frozenset(seed_hw)
     cost, breakdown, evaluation = partition_cost(problem, hw, weights)
     moves = 0
+    if probe is not None:
+        probe.record("greedy", cost, moves_evaluated=moves, task=None)
     for _ in range(max_iterations):
         best: Optional[tuple] = None
         for name in problem.graph.task_names:
@@ -48,6 +52,8 @@ def greedy_partition(
         if best is None:
             break
         cost, _name, hw, breakdown, evaluation = best
+        if probe is not None:
+            probe.record("greedy", cost, moves_evaluated=moves, task=_name)
     return PartitionResult(
         problem=problem,
         hw_tasks=hw,

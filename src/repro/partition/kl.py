@@ -14,7 +14,7 @@ from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.problem import PartitionProblem, PartitionResult
-from repro.partition.seeding import resolve_rng
+from repro.partition.seeding import ProgressProbe, resolve_rng
 
 
 def kernighan_lin(
@@ -24,16 +24,22 @@ def kernighan_lin(
     max_passes: int = 10,
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    probe: Optional[ProgressProbe] = None,
 ) -> PartitionResult:
     """Run KL-style passes until a full pass yields no improvement.
 
     Deterministic: ``seed``/``rng`` are accepted for interface
-    uniformity with the stochastic heuristics and ignored.
+    uniformity with the stochastic heuristics and ignored.  An attached
+    ``probe`` receives one convergence record per tentative (locked)
+    move, tagged with the pass number and whether the pass's best
+    prefix was eventually kept.
     """
     resolve_rng(seed, rng)  # validate the uniform interface contract
     hw = frozenset(seed_hw)
     cost, breakdown, evaluation = partition_cost(problem, hw, weights)
     moves = 0
+    if probe is not None:
+        probe.record("kl", cost, pass_n=0, moves_evaluated=moves)
 
     for _pass in range(max_passes):
         locked: set = set()
@@ -57,6 +63,12 @@ def kernighan_lin(
             cand_cost, name, current = best
             locked.add(name)
             trail.append((cand_cost, current))
+            if probe is not None:
+                probe.record(
+                    "kl", cand_cost, best_cost=min(t[0] for t in trail),
+                    accepted=cand_cost < cost - 1e-9,
+                    pass_n=_pass + 1, task=name, moves_evaluated=moves,
+                )
         best_cost, best_hw = min(trail, key=lambda t: t[0])
         if best_cost < cost - 1e-9:
             cost, hw = best_cost, best_hw

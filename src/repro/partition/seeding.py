@@ -1,4 +1,5 @@
-"""Uniform seed/RNG plumbing for the partition heuristics.
+"""Uniform seed/RNG plumbing and convergence telemetry for the
+partition heuristics.
 
 The sweep engine (:mod:`repro.sweep`) calls every heuristic through one
 signature, passing a per-cell ``seed`` derived from the cell's config
@@ -6,12 +7,22 @@ fingerprint.  Stochastic heuristics must honour it; deterministic ones
 accept it for interface uniformity and ignore it.  ``resolve_rng``
 centralizes the rules so no heuristic hardcodes ``random.Random(0)``
 in a way the caller cannot override.
+
+:class:`ProgressProbe` is the second shared hook: every heuristic
+accepts ``probe=None`` and, when one is attached, reports each
+iteration of its search — current cost, best cost so far, whether the
+move was accepted, and algorithm-specific detail (annealing
+temperature, GCLP global criticality, ...).  The same zero-cost
+discipline as the kernel tracer applies: heuristic hot paths guard
+every report with a single ``if probe is not None`` and allocate
+nothing telemetry-related when no probe is attached.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 
 def resolve_rng(
@@ -32,3 +43,159 @@ def resolve_rng(
             raise ValueError("pass seed or rng, not both")
         return rng
     return random.Random(default_seed if seed is None else seed)
+
+
+@dataclass(slots=True)
+class ProgressRecord:
+    """One iteration of one heuristic's search trajectory."""
+
+    algorithm: str
+    iteration: int
+    cost: float
+    best_cost: float
+    accepted: bool
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-friendly form."""
+        out: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "iteration": self.iteration,
+            "cost": self.cost,
+            "best_cost": self.best_cost,
+            "accepted": self.accepted,
+        }
+        out.update(self.detail)
+        return out
+
+
+class ProgressProbe:
+    """Collects per-iteration convergence records from the heuristics.
+
+    One probe can serve several heuristic runs: records are tagged with
+    the algorithm name and iteration numbers count up independently per
+    algorithm.  An optional ``sink`` callable receives each record as
+    it is made (the span tracer uses this to turn convergence points
+    into trace events); the records list remains the source of truth.
+    """
+
+    __slots__ = ("records", "_iterations", "_sink")
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[ProgressRecord], None]] = None,
+    ) -> None:
+        self.records: List[ProgressRecord] = []
+        self._iterations: Dict[str, int] = {}
+        self._sink = sink
+
+    def record(
+        self,
+        algorithm: str,
+        cost: float,
+        best_cost: Optional[float] = None,
+        accepted: bool = True,
+        **detail: Any,
+    ) -> None:
+        """Report one iteration.  Iteration numbers are assigned here —
+        0, 1, 2, ... per algorithm — so streams are monotone by
+        construction."""
+        iteration = self._iterations.get(algorithm, 0)
+        self._iterations[algorithm] = iteration + 1
+        rec = ProgressRecord(
+            algorithm, iteration, cost,
+            cost if best_cost is None else best_cost,
+            accepted, detail,
+        )
+        self.records.append(rec)
+        if self._sink is not None:
+            self._sink(rec)
+
+    # ------------------------------------------------------------------
+    def for_algorithm(self, algorithm: str) -> List[ProgressRecord]:
+        """This algorithm's records, in iteration order."""
+        return [r for r in self.records if r.algorithm == algorithm]
+
+    def algorithms(self) -> List[str]:
+        """Algorithm names present, sorted."""
+        return sorted({r.algorithm for r in self.records})
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All records in JSON-friendly form (worker serialization)."""
+        return [r.to_dict() for r in self.records]
+
+    def extend_from_dicts(self, records: List[Dict[str, Any]]) -> None:
+        """Fold serialized records (a worker's :meth:`to_dicts`) back
+        in, preserving their original iteration numbers.  The sink is
+        *not* fired: merged records were already sunk where they were
+        recorded (the worker's span events travel with its spans)."""
+        for data in records:
+            data = dict(data)
+            self.records.append(ProgressRecord(
+                data.pop("algorithm"),
+                data.pop("iteration"),
+                data.pop("cost"),
+                data.pop("best_cost"),
+                data.pop("accepted"),
+                data,
+            ))
+
+    def convergence_table(
+        self,
+        algorithm: str,
+        width: int = 40,
+        max_rows: Optional[int] = None,
+    ) -> str:
+        """An aligned text table of one algorithm's trajectory, with a
+        bar per iteration scaled to the cost range.  ``max_rows`` elides
+        the middle of long trajectories (half head, half tail)."""
+        records = self.for_algorithm(algorithm)
+        if not records:
+            return f"{algorithm}: (no records)"
+        costs = [r.cost for r in records]
+        lo, hi = min(costs), max(costs)
+        span = max(hi - lo, 1e-12)
+        lines = [
+            f"{algorithm}: {len(records)} iterations, "
+            f"cost {costs[0]:.2f} -> {records[-1].best_cost:.2f} (best)"
+        ]
+        header = f"  {'iter':>5} {'cost':>12} {'best':>12} {'acc':>4}"
+        lines.append(header)
+        shown = records
+        elided = 0
+        if max_rows is not None and len(records) > max_rows:
+            head = max_rows // 2 + max_rows % 2
+            tail = max_rows // 2
+            elided = len(records) - head - tail
+            shown = records[:head] + records[len(records) - tail:]
+        for i, r in enumerate(shown):
+            if elided and i == (max_rows // 2 + max_rows % 2):
+                lines.append(f"  {'...':>5} ({elided} iterations elided)")
+            bar = "#" * max(1, int(round((r.cost - lo) / span * width)))
+            lines.append(
+                f"  {r.iteration:>5} {r.cost:>12.2f} {r.best_cost:>12.2f} "
+                f"{'yes' if r.accepted else 'no':>4}  {bar}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One line per algorithm: iterations, acceptance rate, best."""
+        lines: List[str] = []
+        for name in self.algorithms():
+            records = self.for_algorithm(name)
+            accepted = sum(1 for r in records if r.accepted)
+            lines.append(
+                f"{name}: {len(records)} iterations, "
+                f"{accepted}/{len(records)} accepted, "
+                f"best cost {min(r.best_cost for r in records):.2f}"
+            )
+        return "\n".join(lines) if lines else "(no convergence records)"
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgressProbe({len(self.records)} records, "
+            f"{len(self._iterations)} algorithms)"
+        )

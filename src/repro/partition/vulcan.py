@@ -20,7 +20,7 @@ from typing import FrozenSet, Optional
 from repro.partition.cost import CostWeights, partition_cost
 from repro.partition.evaluate import evaluate_partition
 from repro.partition.problem import PartitionProblem, PartitionResult
-from repro.partition.seeding import resolve_rng
+from repro.partition.seeding import ProgressProbe, resolve_rng
 
 
 def vulcan_partition(
@@ -29,6 +29,7 @@ def vulcan_partition(
     slack_factor: float = 1.0,
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    probe: Optional[ProgressProbe] = None,
 ) -> PartitionResult:
     """Run hardware-first extraction.
 
@@ -38,7 +39,10 @@ def vulcan_partition(
     above 1 permit bounded degradation).
 
     Deterministic: ``seed``/``rng`` are accepted for interface
-    uniformity with the stochastic heuristics and ignored.
+    uniformity with the stochastic heuristics and ignored.  An attached
+    ``probe`` receives one convergence record per accepted extraction
+    (the six-factor cost of the shrinking partition, its latency, and
+    the remaining hardware population).
     """
     resolve_rng(seed, rng)  # validate the uniform interface contract
     graph = problem.graph
@@ -49,6 +53,10 @@ def vulcan_partition(
         else base.latency_ns * slack_factor
     )
     moves = 0
+    if probe is not None:
+        start_cost, _b, _e = partition_cost(problem, hw, weights)
+        probe.record("vulcan", start_cost, task=None,
+                     latency_ns=base.latency_ns, n_hw=len(hw))
 
     improved = True
     while improved and hw:
@@ -69,6 +77,11 @@ def vulcan_partition(
             if evaluation.latency_ns <= deadline:
                 hw = candidate
                 improved = True
+                if probe is not None:
+                    step_cost, _b, _e = partition_cost(problem, hw, weights)
+                    probe.record("vulcan", step_cost, task=name,
+                                 latency_ns=evaluation.latency_ns,
+                                 n_hw=len(hw), moves_evaluated=moves)
                 break
 
     cost, breakdown, evaluation = partition_cost(problem, hw, weights)

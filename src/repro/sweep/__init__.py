@@ -38,7 +38,12 @@ from repro.sweep.config import (
 )
 from repro.sweep.cache import CACHE_VERSION, ResultCache
 from repro.sweep.table import SweepResult
-from repro.sweep.engine import SweepStats, run_cell, run_sweep
+from repro.sweep.engine import (
+    SweepStats,
+    run_cell,
+    run_cell_observed,
+    run_sweep,
+)
 from repro.sweep.differential import (
     DifferentialReport,
     check_result,
@@ -58,6 +63,7 @@ __all__ = [
     "SweepResult",
     "SweepStats",
     "run_cell",
+    "run_cell_observed",
     "run_sweep",
     "DifferentialReport",
     "check_result",

@@ -15,22 +15,33 @@ numbers trustworthy at scale:
   extensions skip completed cells entirely.
 * **Observability** — progress and cache behaviour are counted in a
   :class:`repro.cosim.metrics.MetricsRegistry` (PR 1's layer), so tests
-  can assert "this run recomputed nothing" instead of trusting timing.
+  can assert "this run recomputed nothing" instead of trusting timing;
+  and an attached :class:`repro.obs.spans.SpanTracer` /
+  :class:`repro.partition.seeding.ProgressProbe` turn the run into one
+  merged wall-clock timeline — per-cell spans are recorded *inside* the
+  pool workers, serialized back alongside each result, and folded into
+  the parent trace on per-worker pid lanes, while worker-side metric
+  deltas merge into the parent registry so counters are truthful at
+  any worker count.
 
 Wall-clock timings live in :class:`SweepStats`, deliberately *outside*
-the result table, which must stay byte-identical across runs.
+the result table, which must stay byte-identical across runs — the
+observability payload travels next to the rows, never inside them.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.cosim.metrics import MetricsRegistry
 from repro.cosim.trace import Tracer
-from repro.partition import CostWeights, HEURISTICS
+from repro.obs.spans import SpanTracer
+from repro.obs import convergence_sink
+from repro.partition import CostWeights, HEURISTICS, ProgressProbe
 from repro.sweep.config import SweepConfig
 from repro.sweep.cache import ResultCache
 from repro.sweep.table import SweepResult
@@ -39,21 +50,10 @@ from repro.sweep.table import SweepResult
 SWEEP_CELL = "sweep_cell"
 
 
-def run_cell(
-    config: SweepConfig, weights: Optional[CostWeights] = None
+def _cell_record(
+    config: SweepConfig, problem, result
 ) -> Dict[str, Any]:
-    """Execute one sweep cell: generate, partition, evaluate, record.
-
-    Returns a plain JSON-serializable dict (the table row).  Everything
-    in it is a pure function of the config — no timestamps, no host
-    identity — so rows are comparable and cacheable across machines.
-    """
-    weights = weights if weights is not None else CostWeights()
-    problem = config.build_problem()
-    heuristic = HEURISTICS[config.heuristic]
-    result = heuristic(
-        problem, weights=weights, seed=config.heuristic_seed()
-    )
+    """The table row for one computed cell (pure function of config)."""
     evaluation = result.evaluation
     return {
         "fingerprint": config.fingerprint,
@@ -78,6 +78,77 @@ def run_cell(
         "feasible": result.feasible,
         "moves_evaluated": result.moves_evaluated,
     }
+
+
+def run_cell(
+    config: SweepConfig, weights: Optional[CostWeights] = None
+) -> Dict[str, Any]:
+    """Execute one sweep cell: generate, partition, evaluate, record.
+
+    Returns a plain JSON-serializable dict (the table row).  Everything
+    in it is a pure function of the config — no timestamps, no host
+    identity — so rows are comparable and cacheable across machines.
+    """
+    weights = weights if weights is not None else CostWeights()
+    problem = config.build_problem()
+    heuristic = HEURISTICS[config.heuristic]
+    result = heuristic(
+        problem, weights=weights, seed=config.heuristic_seed()
+    )
+    return _cell_record(config, problem, result)
+
+
+def run_cell_observed(
+    config: SweepConfig, weights: Optional[CostWeights] = None
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """:func:`run_cell` with full observability collected *in this
+    process* — the form the engine runs inside pool workers.
+
+    Returns ``(record, obs)``: the identical table row, plus a
+    JSON-serializable observability payload — worker-side spans
+    (build/partition phases nested under the cell span), per-iteration
+    convergence records, and a worker :class:`MetricsRegistry` delta —
+    for the parent to merge.  The payload never enters the row or the
+    cache, so tables stay byte-identical with or without observation.
+    """
+    weights = weights if weights is not None else CostWeights()
+    spans = SpanTracer()
+    spans.name_lane(spans.pid, f"sweep worker {os.getpid()}")
+    probe = ProgressProbe(sink=convergence_sink(spans))
+    metrics = MetricsRegistry()
+    heuristic = HEURISTICS[config.heuristic]
+    with spans.span(
+        "cell", fingerprint=config.fingerprint,
+        heuristic=config.heuristic, seed=config.seed,
+    ):
+        with spans.span("build_problem", generator=config.generator,
+                        n_tasks=config.n_tasks):
+            problem = config.build_problem()
+        with spans.span("partition", heuristic=config.heuristic):
+            result = heuristic(
+                problem, weights=weights, seed=config.heuristic_seed(),
+                probe=probe,
+            )
+    name = config.heuristic
+    metrics.counter("sweep.worker.cells").inc()
+    metrics.counter(f"heuristic.{name}.cells").inc()
+    metrics.counter(f"heuristic.{name}.moves_evaluated").inc(
+        result.moves_evaluated
+    )
+    metrics.counter(f"heuristic.{name}.probe_records").inc(len(probe))
+    metrics.histogram(f"heuristic.{name}.hw_tasks").observe(
+        len(result.hw_tasks)
+    )
+    record = _cell_record(config, problem, result)
+    for rec in probe.records:  # make merged multi-cell streams separable
+        rec.detail.setdefault("cell", config.fingerprint[:12])
+    obs = {
+        "pid": os.getpid(),
+        "spans": spans.snapshot(),
+        "probe": probe.to_dicts(),
+        "metrics": metrics.snapshot(),
+    }
+    return record, obs
 
 
 @dataclass
@@ -107,6 +178,8 @@ def run_sweep(
     weights: Optional[CostWeights] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    span_tracer: Optional[SpanTracer] = None,
+    probe: Optional[ProgressProbe] = None,
 ) -> SweepResult:
     """Run every cell of the grid; return the ordered result table.
 
@@ -114,6 +187,13 @@ def run_sweep(
     uncached cells over a ``ProcessPoolExecutor``.  Duplicate configs in
     the grid are computed once and the row repeated.  The returned
     table carries a :class:`SweepStats` as ``.stats``.
+
+    Attaching a ``span_tracer`` and/or ``probe`` switches cells to
+    :func:`run_cell_observed`: per-cell spans recorded inside the
+    workers are merged into the parent tracer on per-worker pid lanes,
+    convergence records land in the probe, and worker-side metric
+    deltas fold into ``metrics`` — counters read identically at any
+    worker count.  The row/cache content is unchanged either way.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -121,7 +201,16 @@ def run_sweep(
     metrics = metrics if metrics is not None else (
         tracer.metrics if tracer is not None else MetricsRegistry()
     )
+    observed = span_tracer is not None or probe is not None
     t0 = time.perf_counter()
+
+    if span_tracer is not None:
+        span_tracer.name_lane(span_tracer.pid, "sweep parent")
+        sweep_span = span_tracer.span("sweep", cells=len(configs),
+                                      workers=workers)
+        sweep_span.__enter__()
+    else:
+        sweep_span = None
 
     rows: Dict[str, Dict[str, Any]] = {}
     pending: List[SweepConfig] = []
@@ -140,6 +229,9 @@ def run_sweep(
             if tracer is not None:
                 tracer.emit(SWEEP_CELL, fingerprint, time=0.0, cached=True,
                             heuristic=config.heuristic)
+            if span_tracer is not None:
+                span_tracer.event("cache.hit", fingerprint=fingerprint,
+                                  heuristic=config.heuristic)
         else:
             # reserve the slot so a duplicate later in the grid is not
             # submitted twice
@@ -148,7 +240,8 @@ def run_sweep(
             metrics.counter("sweep.cache.misses").inc()
 
     def finish(config: SweepConfig, record: Dict[str, Any],
-               cell_elapsed: float) -> None:
+               cell_elapsed: float,
+               obs: Optional[Dict[str, Any]] = None) -> None:
         rows[config.fingerprint] = record
         stats.computed += 1
         metrics.counter("sweep.cells.computed").inc()
@@ -159,16 +252,26 @@ def run_sweep(
             tracer.emit(SWEEP_CELL, config.fingerprint, time=0.0,
                         cached=False, heuristic=config.heuristic,
                         elapsed_s=cell_elapsed)
+        if obs is not None:
+            metrics.merge(obs["metrics"])
+            if span_tracer is not None:
+                span_tracer.merge_snapshot(
+                    obs["spans"], lane=f"sweep worker {obs['pid']}"
+                )
+            if probe is not None:
+                probe.extend_from_dicts(obs["probe"])
 
+    cell_fn = run_cell_observed if observed else run_cell
     if workers == 1 or len(pending) <= 1:
         for config in pending:
             cell_t0 = time.perf_counter()
-            record = run_cell(config, weights=weights)
-            finish(config, record, time.perf_counter() - cell_t0)
+            out = cell_fn(config, weights)
+            record, obs = out if observed else (out, None)
+            finish(config, record, time.perf_counter() - cell_t0, obs)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             submitted = {
-                pool.submit(run_cell, config, weights):
+                pool.submit(cell_fn, config, weights):
                     (config, time.perf_counter())
                 for config in pending
             }
@@ -179,10 +282,17 @@ def run_sweep(
                 )
                 for future in done:
                     config, cell_t0 = submitted[future]
-                    finish(config, future.result(),
-                           time.perf_counter() - cell_t0)
+                    out = future.result()
+                    record, obs = out if observed else (out, None)
+                    finish(config, record,
+                           time.perf_counter() - cell_t0, obs)
 
+    if sweep_span is not None:
+        sweep_span.__exit__(None, None, None)
     stats.elapsed_s = time.perf_counter() - t0
     table = SweepResult([rows[c.fingerprint] for c in configs])
     table.stats = stats
+    if observed:
+        table.obs = {"span_tracer": span_tracer, "probe": probe,
+                     "metrics": metrics}
     return table

@@ -86,3 +86,92 @@ class TestMetricsRegistry:
 
     def test_empty_registry_summary(self):
         assert "no metrics" in MetricsRegistry().summary_table()
+
+
+class TestSnapshotMerge:
+    """snapshot()/merge() as a standalone API: take a delta in one
+    registry, ship it as JSON, fold it into another."""
+
+    def loaded_registry(self):
+        m = MetricsRegistry()
+        m.counter("cells").inc(3)
+        m.counter("moves").inc(40)
+        h = m.histogram("wait", bounds=[1.0, 10.0])
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        return m
+
+    def test_snapshot_is_lossless_and_json_serializable(self):
+        m = self.loaded_registry()
+        snap = json.loads(json.dumps(m.snapshot()))
+        assert snap["counters"] == {"cells": 3, "moves": 40}
+        h = snap["histograms"]["wait"]
+        assert h["bounds"] == [1.0, 10.0]
+        assert h["buckets"] == [1, 1, 1]  # every bucket, not just nonzero
+        assert h["count"] == 3
+        assert h["total"] == pytest.approx(55.5)
+        assert h["min"] == pytest.approx(0.5)
+        assert h["max"] == pytest.approx(50.0)
+
+    def test_merge_into_empty_registry_reproduces_state(self):
+        source = self.loaded_registry()
+        target = MetricsRegistry()
+        target.merge(json.loads(json.dumps(source.snapshot())))
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_adds_counters_and_buckets(self):
+        a = self.loaded_registry()
+        b = self.loaded_registry()
+        b.counter("extra").inc()
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"] == {"cells": 6, "moves": 80, "extra": 1}
+        h = snap["histograms"]["wait"]
+        assert h["buckets"] == [2, 2, 2]
+        assert h["count"] == 6
+        assert h["min"] == pytest.approx(0.5)
+        assert h["max"] == pytest.approx(50.0)
+
+    def test_merge_order_does_not_matter(self):
+        deltas = []
+        for seed in (1, 2, 3):
+            m = MetricsRegistry()
+            m.counter("n").inc(seed)
+            m.histogram("h").observe(float(seed))
+            deltas.append(m.snapshot())
+        fwd, rev = MetricsRegistry(), MetricsRegistry()
+        for d in deltas:
+            fwd.merge(d)
+        for d in reversed(deltas):
+            rev.merge(d)
+        assert fwd.snapshot() == rev.snapshot()
+
+    def test_histogram_merge_rejects_mismatched_bounds(self):
+        a = Histogram("h", bounds=[1.0, 2.0])
+        b = Histogram("h", bounds=[10.0])
+        with pytest.raises(ValueError, match="bounds"):
+            a.merge_snapshot(b.snapshot())
+
+    def test_registry_merge_creates_histogram_with_snapshot_bounds(self):
+        source = MetricsRegistry()
+        source.histogram("lat", bounds=[5.0, 25.0]).observe(7.0)
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.histograms["lat"].bounds == [5.0, 25.0]
+        assert target.histograms["lat"].count == 1
+
+    def test_empty_snapshot_merge_is_a_no_op(self):
+        m = self.loaded_registry()
+        before = m.snapshot()
+        m.merge(MetricsRegistry().snapshot())
+        m.merge({})
+        assert m.snapshot() == before
+
+    def test_merged_empty_histogram_does_not_clobber_min_max(self):
+        a = Histogram("h")
+        a.observe(4.0)
+        b = Histogram("h")  # count 0: min/max are sentinels
+        a.merge_snapshot(b.snapshot())
+        assert a.count == 1
+        assert a.min == pytest.approx(4.0)
+        assert a.max == pytest.approx(4.0)

@@ -29,6 +29,7 @@ EXPECTED_MARKERS = {
     "executable_spec_refinement.py": ["step 1", "hardware: yes"],
     "mixed_system.py": ["Mixed Type I / Type II", "matches"],
     "partition_sweep.py": ["cells", "heuristic", "wins"],
+    "obs_report.py": ["flamegraph", "convergence", "schema valid"],
 }
 
 
@@ -56,14 +57,38 @@ def test_every_example_is_listed():
     )
 
 
+#: Per-example CLI args for the generic run test (keeps slow examples
+#: inside their smoke configurations).
+EXAMPLE_ARGS = {
+    "obs_report.py": ["--smoke"],
+}
+
+
 @pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
 def test_example_runs(name):
-    proc = run_example(name)
+    proc = run_example(name, *EXAMPLE_ARGS.get(name, []))
     assert proc.returncode == 0, proc.stderr[-2000:]
     for marker in EXPECTED_MARKERS[name]:
         assert marker in proc.stdout, (
             f"{name}: expected {marker!r} in output"
         )
+
+
+def test_obs_report_exports_are_well_formed(tmp_path):
+    """The observability report must leave behind a schema-valid
+    Perfetto trace and a mergeable metrics snapshot, in both modes."""
+    from repro.obs import validate_trace_events
+
+    for mode_args in (["--smoke"], ["--mode", "cosim"]):
+        outdir = tmp_path / mode_args[-1].lstrip("-")
+        proc = run_example("obs_report.py", *mode_args,
+                           "--out", str(outdir))
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        doc = json.loads((outdir / "obs_trace.json").read_text())
+        assert validate_trace_events(doc) == []
+        assert doc["traceEvents"], "trace has no events"
+        metrics = json.loads((outdir / "obs_metrics.json").read_text())
+        assert metrics["counters"], "metrics snapshot has no counters"
 
 
 def test_trace_ladder_exports_are_well_formed(tmp_path):

@@ -108,3 +108,57 @@ class TestReports:
         assert prof.total_instructions == 0
         assert prof.cycle_share() == {}
         assert prof.basic_blocks() == []
+
+
+class TestMetricsBridge:
+    def test_totals_land_in_registry_counters(self):
+        from repro.cosim.metrics import MetricsRegistry
+
+        _c, prof, _p = profiled_run(LOOP_PROGRAM)
+        registry = prof.to_metrics(MetricsRegistry())
+        counters = registry.snapshot()["counters"]
+        assert counters["isa.instructions"] == prof.total_instructions
+        assert counters["isa.cycles"] == prof.total_cycles
+        assert counters["isa.op.mul.count"] == 50
+        assert counters["isa.op.mul.cycles"] == \
+            prof.opcode_cycles[prof.isa.opcode_of("mul")]
+
+    def test_hot_blocks_exported_as_extraction_candidates(self):
+        from repro.cosim.metrics import MetricsRegistry
+
+        _c, prof, prog = profiled_run(LOOP_PROGRAM)
+        counters = prof.to_metrics(MetricsRegistry()).snapshot()["counters"]
+        block = prof.hot_blocks(1)[0]
+        key = f"isa.block.{block.start:#x}_{block.end:#x}"
+        assert counters[f"{key}.executions"] == 50
+        assert counters[f"{key}.instructions"] == 50 * block.size
+
+    def test_block_size_histogram_covers_every_block(self):
+        from repro.cosim.metrics import MetricsRegistry
+
+        _c, prof, _p = profiled_run(LOOP_PROGRAM)
+        registry = prof.to_metrics(MetricsRegistry())
+        h = registry.histograms["isa.block.size"]
+        assert h.count == len(prof.basic_blocks())
+        assert h.max == max(b.size for b in prof.basic_blocks())
+
+    def test_prefix_and_chaining(self):
+        from repro.cosim.metrics import MetricsRegistry
+
+        _c, prof, _p = profiled_run(LOOP_PROGRAM)
+        registry = MetricsRegistry()
+        assert prof.to_metrics(registry, prefix="cpu0") is registry
+        counters = registry.snapshot()["counters"]
+        assert "cpu0.instructions" in counters
+        assert not any(k.startswith("isa.") for k in counters)
+
+    def test_two_profiles_aggregate_into_one_registry(self):
+        from repro.cosim.metrics import MetricsRegistry
+
+        _c1, prof1, _p1 = profiled_run(LOOP_PROGRAM)
+        _c2, prof2, _p2 = profiled_run(LOOP_PROGRAM)
+        registry = MetricsRegistry()
+        prof1.to_metrics(registry)
+        prof2.to_metrics(registry)
+        assert registry.counters["isa.instructions"].value == \
+            prof1.total_instructions + prof2.total_instructions

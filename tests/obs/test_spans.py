@@ -1,0 +1,212 @@
+"""Span tracer: nesting, attributes, merging, Perfetto export,
+flamegraph rendering, and the schema validator itself."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    REQUIRED_KEYS,
+    Span,
+    SpanEvent,
+    SpanTracer,
+    fold_spans,
+    render_flamegraph,
+    to_trace_events,
+    validate_trace_events,
+)
+
+
+def fake_clock(times):
+    """A deterministic clock yielding the given instants in order."""
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestSpanNesting:
+    def test_nested_spans_record_depth_and_order(self):
+        tracer = SpanTracer(pid=1, tid=1,
+                            clock=fake_clock([0.0, 1.0, 2.0, 3.0]))
+        with tracer.span("outer", phase="all"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.depth == 1
+        # innermost closes first
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+        inner, outer = tracer.finished
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.start <= inner.start <= inner.end <= outer.end
+        assert outer.attrs == {"phase": "all"}
+        assert tracer.current is None
+
+    def test_span_closed_on_exception(self):
+        tracer = SpanTracer(pid=1, tid=1, clock=fake_clock([0.0, 1.0]))
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert len(tracer.finished) == 1
+        assert tracer.finished[0].duration == 1.0
+        assert tracer.current is None
+
+    def test_events_capture_time_and_attrs(self):
+        tracer = SpanTracer(pid=7, tid=3, clock=fake_clock([5.0]))
+        tracer.event("cache.hit", fingerprint="abc")
+        (event,) = tracer.events
+        assert event.name == "cache.hit"
+        assert event.time == 5.0
+        assert event.pid == 7
+        assert event.attrs == {"fingerprint": "abc"}
+
+
+class TestMergeAndTransport:
+    def make_worker(self, pid, offset):
+        worker = SpanTracer(
+            pid=pid, tid=1,
+            clock=fake_clock([offset, offset + 0.25, offset + 0.5,
+                              offset + 0.75, offset + 1.0]),
+        )
+        with worker.span("cell", heuristic="greedy"):
+            worker.event("converge:greedy", iteration=0, cost=1.0)
+            with worker.span("partition"):
+                pass
+        return worker
+
+    def test_snapshot_roundtrip(self):
+        worker = self.make_worker(100, 0.0)
+        snap = worker.snapshot()
+        # must survive a JSON pipe (what the process pool actually does)
+        snap = json.loads(json.dumps(snap))
+        parent = SpanTracer(pid=1, tid=1)
+        parent.merge_snapshot(snap, lane="worker 100")
+        assert len(parent.finished) == 2
+        assert len(parent.events) == 1
+        assert parent.lane_names[100] == "worker 100"
+        assert all(s.pid == 100 for s in parent.finished)
+
+    def test_merged_workers_keep_their_own_lanes(self):
+        parent = SpanTracer(pid=1, tid=1, clock=fake_clock([0.0, 9.0]))
+        with parent.span("sweep"):
+            pass
+        for pid, offset in ((100, 1.0), (200, 2.0)):
+            parent.merge_snapshot(self.make_worker(pid, offset).snapshot(),
+                                  lane=f"worker {pid}")
+        assert parent.pids() == [1, 100, 200]
+        by_pid = {}
+        for span in parent.finished:
+            by_pid.setdefault(span.pid, []).append(span.name)
+        assert sorted(by_pid[100]) == ["cell", "partition"]
+        assert sorted(by_pid[200]) == ["cell", "partition"]
+
+    def test_span_and_event_dict_roundtrip(self):
+        span = Span("s", 1.0, 2.0, 10, 20, 1, {"k": "v"})
+        assert Span.from_dict(span.to_dict()) == span
+        event = SpanEvent("e", 1.5, 10, 20, {"x": 1})
+        assert SpanEvent.from_dict(event.to_dict()) == event
+
+
+class TestPerfettoExport:
+    def traced(self):
+        tracer = SpanTracer(pid=1, tid=1,
+                            clock=fake_clock([10.0, 10.5, 11.0, 11.5,
+                                              12.0]))
+        with tracer.span("outer"):
+            tracer.event("tick", n=1)
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_events_carry_required_keys(self):
+        events = to_trace_events(self.traced())
+        assert events, "no events exported"
+        for event in events:
+            for key in REQUIRED_KEYS:
+                assert key in event, f"missing {key} in {event}"
+
+    def test_timestamps_normalized_to_microseconds(self):
+        events = to_trace_events(self.traced())
+        completes = [e for e in events if e["ph"] == "X"]
+        outer = next(e for e in completes if e["name"] == "outer")
+        inner = next(e for e in completes if e["name"] == "inner")
+        assert outer["ts"] == 0.0            # normalized origin
+        assert outer["dur"] == 2e6           # 2 s -> 2M us
+        assert inner["ts"] == 1e6
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["ts"] == 0.5e6
+        assert instant["args"] == {"n": 1}
+
+    def test_process_name_metadata_per_lane(self):
+        tracer = self.traced()
+        tracer.name_lane(1, "main lane")
+        events = to_trace_events(tracer)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["args"] == {"name": "main lane"}
+
+    def test_to_perfetto_document_is_valid(self):
+        doc = self.traced().to_perfetto()
+        assert validate_trace_events(doc) == []
+        parsed = json.loads(doc)
+        assert isinstance(parsed["traceEvents"], list)
+
+    def test_write_perfetto(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self.traced().write_perfetto(str(path))
+        assert validate_trace_events(path.read_text()) == []
+
+
+class TestValidator:
+    def test_rejects_missing_required_keys(self):
+        doc = {"traceEvents": [{"ph": "i", "ts": 0, "pid": 1}]}
+        problems = validate_trace_events(doc)
+        assert any("tid" in p for p in problems)
+        assert any("name" in p for p in problems)
+
+    def test_rejects_negative_duration(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "ts": 0, "dur": -1, "pid": 1, "tid": 1, "name": "x"}
+        ]}
+        assert any("dur" in p for p in validate_trace_events(doc))
+
+    def test_rejects_garbage(self):
+        assert validate_trace_events("not json{")
+        assert validate_trace_events(42)
+        assert validate_trace_events({"noTraceEvents": []})
+
+    def test_accepts_array_form(self):
+        events = [{"ph": "i", "ts": 0, "pid": 1, "tid": 1, "name": "e"}]
+        assert validate_trace_events(events) == []
+
+
+class TestFlamegraph:
+    def test_fold_reconstructs_hierarchy_without_parent_pointers(self):
+        tracer = SpanTracer(
+            pid=1, tid=1,
+            clock=fake_clock([0.0, 1.0, 2.0, 3.0, 4.0, 10.0]),
+        )
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+            with tracer.span("child"):
+                pass
+        folded = fold_spans(tracer)
+        assert folded[("root",)]["count"] == 1
+        assert folded[("root", "child")]["count"] == 2
+        assert folded[("root", "child")]["time"] == 2.0
+
+    def test_render_is_aligned_and_proportional(self):
+        tracer = SpanTracer(pid=1, tid=1,
+                            clock=fake_clock([0.0, 0.0, 8.0, 10.0]))
+        with tracer.span("root"):
+            with tracer.span("hot"):
+                pass
+        text = render_flamegraph(tracer)
+        lines = text.splitlines()
+        assert lines[0].startswith("flamegraph:")
+        root_line = next(l for l in lines if l.startswith("root"))
+        hot_line = next(l for l in lines if l.strip().startswith("hot"))
+        assert root_line.count("#") > hot_line.count("#")
+        assert "100.0%" in root_line
+        assert "80.0%" in hot_line
+
+    def test_empty_tracer(self):
+        assert "(no spans" in render_flamegraph(SpanTracer())
