@@ -19,6 +19,7 @@ computationally".
 from __future__ import annotations
 
 import heapq
+import time
 from typing import (
     Any,
     Callable,
@@ -36,6 +37,53 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (bad yields, double-success, etc.)."""
+
+
+class HangDetected(SimulationError):
+    """Raised by a :class:`Watchdog` when the simulation stops making
+    progress: model time is stuck while processes keep resuming (a
+    zero-delay spin / livelock), or the run exceeds its wall-clock
+    budget.  Fault-injection campaigns map this to the *hang* outcome
+    class instead of looping forever."""
+
+
+class Watchdog:
+    """Hang-detection policy for :meth:`Simulator.run`.
+
+    ``max_stalled_activations`` bounds how many process resumptions may
+    occur *without model time advancing* before the run is declared
+    hung — the deterministic detector for zero-delay spin loops, which
+    would otherwise run forever.  ``wall_clock_s`` optionally bounds the
+    host-time budget of the whole run, checked every ``check_every``
+    steps so the hot loop stays cheap.  A process stuck inside a single
+    ``step()`` (never yielding at all) is not detectable from within
+    the kernel; the watchdog covers everything the event loop can see.
+    """
+
+    __slots__ = ("max_stalled_activations", "wall_clock_s", "check_every")
+
+    def __init__(
+        self,
+        max_stalled_activations: int = 100_000,
+        wall_clock_s: Optional[float] = None,
+        check_every: int = 1024,
+    ) -> None:
+        if max_stalled_activations < 1:
+            raise ValueError("max_stalled_activations must be >= 1")
+        if wall_clock_s is not None and wall_clock_s <= 0:
+            raise ValueError("wall_clock_s must be positive")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.max_stalled_activations = max_stalled_activations
+        self.wall_clock_s = wall_clock_s
+        self.check_every = check_every
+
+    def __repr__(self) -> str:
+        return (
+            f"Watchdog(max_stalled_activations="
+            f"{self.max_stalled_activations}, "
+            f"wall_clock_s={self.wall_clock_s})"
+        )
 
 
 class Interrupt(Exception):
@@ -397,15 +445,25 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        watchdog: Optional[Watchdog] = None,
+    ) -> float:
         """Run until the queue drains or model time reaches ``until``.
 
         Returns the final model time.  ``until`` earlier than ``now`` is
-        a no-op: time never moves backwards.
+        a no-op: time never moves backwards.  An attached ``watchdog``
+        raises :class:`HangDetected` when the run stalls (model time
+        stuck while processes keep spinning) or overruns its wall-clock
+        budget; ``None`` (the default) keeps the loop exactly as cheap
+        as it was without the feature.
         """
+        if watchdog is not None:
+            return self._run_watched(until, watchdog)
         while self._queue:
-            time = self._queue[0][0]
-            if until is not None and time > until:
+            head = self._queue[0][0]
+            if until is not None and head > until:
                 # advance to the horizon, but never rewind: an `until`
                 # in the past must not drag `now` backwards
                 self.now = max(self.now, until)
@@ -413,6 +471,53 @@ class Simulator:
             if not self.step():
                 break
         return self.now
+
+    def _run_watched(self, until: Optional[float], watchdog: Watchdog)\
+            -> float:
+        """The :meth:`run` loop with stall and wall-clock accounting."""
+        last_now = self.now
+        stalled = 0
+        steps = 0
+        deadline = (
+            None if watchdog.wall_clock_s is None
+            else time.perf_counter() + watchdog.wall_clock_s
+        )
+        while self._queue:
+            head = self._queue[0][0]
+            if until is not None and head > until:
+                self.now = max(self.now, until)
+                return self.now
+            if not self.step():
+                break
+            if self.now > last_now:
+                last_now = self.now
+                stalled = 0
+            else:
+                stalled += 1
+                if stalled >= watchdog.max_stalled_activations:
+                    raise HangDetected(
+                        f"no model-time progress after {stalled} "
+                        f"activations at t={self.now:g}; "
+                        f"suspects: {self._stalled_suspects()}"
+                    )
+            steps += 1
+            if deadline is not None and steps % watchdog.check_every == 0:
+                if time.perf_counter() > deadline:
+                    raise HangDetected(
+                        f"wall-clock budget {watchdog.wall_clock_s:g}s "
+                        f"exhausted at t={self.now:g} "
+                        f"({steps} steps, {stalled} stalled)"
+                    )
+        return self.now
+
+    def _stalled_suspects(self) -> List[str]:
+        """Names of live processes scheduled at the stuck time (the
+        most useful attribution the queue can give a hang report)."""
+        return sorted({
+            proc.name
+            for when, _seq, proc, _value, token in self._queue
+            if when <= self.now and proc.alive and token == proc._token
+        })[:8]
 
     @property
     def processes(self) -> List[Process]:

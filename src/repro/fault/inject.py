@@ -1,0 +1,221 @@
+"""Fault injectors: arm a :class:`FaultSpec` against a live system.
+
+The injector is strictly *additive* and *zero-cost when idle*: a
+:class:`System` with a :class:`FaultInjector` attached but no faults
+armed runs the identical event sequence — and allocates nothing from
+this module — compared to a system with no injector at all.  (The
+robustness suite enforces this with tracemalloc and with poisoned
+saboteur constructors, the same discipline the PR 1 observability layer
+follows.)
+
+Each fault kind maps onto the narrowest hook its layer already offers:
+
+* ``signal_flip`` / ``reg_flip`` / ``proc_spin`` — a saboteur process
+  scheduled at ``spec.time``;
+* ``cpu_*`` — a one-shot retirement observer on
+  :attr:`repro.isa.cpu.Cpu.observers`;
+* ``msg_*`` — a per-instance wrapper around ``Channel.send`` that
+  drops, duplicates, delays, reorders, or corrupts the Nth message in
+  transport (the class and every other channel stay untouched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.cosim.kernel import Simulator
+from repro.cosim.msglevel import Channel
+from repro.cosim.signals import Signal
+from repro.fault.spec import FaultSpec
+
+MASK32 = 0xFFFFFFFF
+
+
+class InjectionError(ValueError):
+    """A spec names a target the system does not have."""
+
+
+@dataclass
+class System:
+    """The injectable surface of one simulated system.
+
+    Scenario builders fill in whichever layers they instantiate; the
+    injector resolves :attr:`FaultSpec.target` against these maps and
+    refuses (loudly) anything it cannot find.  ``devices`` values are
+    any objects with a mutable ``regs`` list
+    (:class:`repro.cosim.translevel.RegisterDevice` and friends).
+    """
+
+    sim: Simulator
+    cpu: Optional[Any] = None
+    signals: Dict[str, Signal] = field(default_factory=dict)
+    devices: Dict[str, Any] = field(default_factory=dict)
+    channels: Dict[str, Channel] = field(default_factory=dict)
+
+
+class _CpuSaboteur:
+    """One-shot retirement observer implementing the ``cpu_*`` kinds."""
+
+    __slots__ = ("cpu", "spec", "retired", "fired")
+
+    def __init__(self, cpu: Any, spec: FaultSpec) -> None:
+        self.cpu = cpu
+        self.spec = spec
+        self.retired = 0
+        self.fired = False
+
+    def __call__(self, pc: int, instr: Any) -> None:
+        if self.fired:
+            return
+        self.retired += 1
+        if self.retired < self.spec.count:
+            return
+        self.fired = True
+        spec, cpu = self.spec, self.cpu
+        if spec.kind == "cpu_reg_flip":
+            cpu.regs[spec.index] ^= (1 << spec.bit)
+            cpu.regs[spec.index] &= MASK32
+        elif spec.kind == "cpu_pc_flip":
+            cpu.pc ^= (1 << spec.bit)
+        else:  # cpu_flag_flip
+            setattr(cpu, spec.flag, not getattr(cpu, spec.flag))
+
+
+class _MessageSaboteur:
+    """Per-channel ``send`` wrapper implementing the ``msg_*`` kinds.
+
+    Counts messages from arming; acts on message ``spec.index`` (and,
+    for ``msg_reorder``, its successor).  Wrapping is per *instance*:
+    ``channel.send`` is rebound to :meth:`send`, chaining over whatever
+    was there before, so several message faults can stack on one
+    channel.
+    """
+
+    __slots__ = ("channel", "spec", "orig_send", "seen", "held")
+
+    def __init__(self, channel: Channel, spec: FaultSpec) -> None:
+        self.channel = channel
+        self.spec = spec
+        self.orig_send = channel.send
+        self.seen = 0
+        self.held: Optional[tuple] = None
+        channel.send = self.send  # type: ignore[method-assign]
+
+    def send(self, item: Any, words: int = 1) -> Generator:
+        spec = self.spec
+        index = self.seen
+        self.seen += 1
+        if self.held is not None and index == spec.index + 1:
+            # msg_reorder: successor first, then the held message
+            held_item, held_words = self.held
+            self.held = None
+            yield from self.orig_send(item, words)
+            yield from self.orig_send(held_item, held_words)
+            return
+        if index != spec.index:
+            yield from self.orig_send(item, words)
+            return
+        if spec.kind == "msg_drop":
+            # the transport still takes its time; the payload vanishes
+            delay = self.channel.transfer_delay(words)
+            if delay > 0:
+                yield self.channel.sim.timeout(delay)
+        elif spec.kind == "msg_dup":
+            yield from self.orig_send(item, words)
+            yield from self.orig_send(item, words)
+        elif spec.kind == "msg_delay":
+            yield self.channel.sim.timeout(spec.delay)
+            yield from self.orig_send(item, words)
+        elif spec.kind == "msg_reorder":
+            self.held = (item, words)
+        else:  # msg_corrupt
+            if isinstance(item, int):
+                item = (item ^ (1 << spec.bit)) & MASK32
+            yield from self.orig_send(item, words)
+
+
+def _flip_later(system: System, spec: FaultSpec) -> Generator:
+    """Saboteur process body for the time-triggered state flips."""
+    yield system.sim.timeout(spec.time)
+    if spec.kind == "signal_flip":
+        sig = system.signals[spec.target]
+        sig.set((sig.value ^ (1 << spec.bit)) & MASK32)
+    else:  # reg_flip
+        regs = system.devices[spec.target].regs
+        regs[spec.index % len(regs)] ^= (1 << spec.bit)
+        regs[spec.index % len(regs)] &= MASK32
+
+
+def _spin_later(system: System, spec: FaultSpec) -> Generator:
+    """Saboteur that stops yielding time: the watchdog's prey."""
+    yield system.sim.timeout(spec.time)
+    while True:
+        yield system.sim.timeout(0.0)
+
+
+class FaultInjector:
+    """Arms :class:`FaultSpec` instances against one :class:`System`.
+
+    Construction touches nothing; every hook is installed by
+    :meth:`arm`.  An injector with an empty :attr:`armed` list is
+    indistinguishable from no injector at all.
+    """
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self.armed: List[FaultSpec] = []
+
+    def arm(self, spec: FaultSpec) -> None:
+        """Install the hook for one fault; raises
+        :class:`InjectionError` if the target does not exist."""
+        system = self.system
+        if spec.kind == "signal_flip":
+            if spec.target not in system.signals:
+                raise InjectionError(
+                    f"no signal {spec.target!r}; have "
+                    f"{sorted(system.signals)}"
+                )
+            system.sim.process(
+                _flip_later(system, spec), name=f"fault.{spec.kind}"
+            )
+        elif spec.kind == "reg_flip":
+            device = system.devices.get(spec.target)
+            if device is None or not getattr(device, "regs", None):
+                raise InjectionError(
+                    f"no register device {spec.target!r}; have "
+                    f"{sorted(system.devices)}"
+                )
+            system.sim.process(
+                _flip_later(system, spec), name=f"fault.{spec.kind}"
+            )
+        elif spec.kind.startswith("cpu_"):
+            if system.cpu is None:
+                raise InjectionError(f"{spec.kind}: system has no CPU")
+            if spec.kind == "cpu_reg_flip" and not (
+                0 <= spec.index < len(system.cpu.regs)
+            ):
+                raise InjectionError(
+                    f"cpu_reg_flip: no register r{spec.index}"
+                )
+            system.cpu.observers.append(_CpuSaboteur(system.cpu, spec))
+        elif spec.kind.startswith("msg_"):
+            channel = system.channels.get(spec.target)
+            if channel is None:
+                raise InjectionError(
+                    f"no channel {spec.target!r}; have "
+                    f"{sorted(system.channels)}"
+                )
+            _MessageSaboteur(channel, spec)
+        else:  # proc_spin
+            system.sim.process(
+                _spin_later(system, spec), name=f"fault.{spec.target}"
+            )
+        self.armed.append(spec)
+
+
+def arm_fault(system: System, spec: FaultSpec) -> FaultInjector:
+    """Convenience: build an injector and arm one fault."""
+    injector = FaultInjector(system)
+    injector.arm(spec)
+    return injector

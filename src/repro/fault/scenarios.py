@@ -1,0 +1,326 @@
+"""Campaign workloads: small, fully deterministic mixed HW/SW systems.
+
+Each :class:`Scenario` builds one closed system (kernel + devices +
+channels, optionally a co-simulated R32 CPU), declares its injectable
+target space for :func:`repro.fault.spec.sample_faults`, and knows how
+to summarize a finished run into a JSON-stable *outcome record*.  The
+campaign layer diffs faulty records against the golden one, so a record
+contains only what identity should be judged on: the observable output
+stream, the completion flag, and the system's own error-detection
+verdict — **not** the finish time (a delayed-but-correct run is
+*masked*, per the usual SBFI outcome taxonomy).
+
+Two scenarios:
+
+* ``coproc`` — the full stack: an R32 program streams words from an rx
+  FIFO through a MAC coprocessor (register rung) while keeping a
+  software shadow of the accumulation, then reports hardware result,
+  software result, an agreement verdict, and an end marker over a
+  message-rung channel.  The built-in redundancy is the *detection*
+  mechanism faults are measured against.
+* ``msgpipe`` — message rung only (no CPU, fast): a producer streams
+  parity-protected words to a transform stage that checks parity,
+  doubles the payload, and forwards it re-protected to a trusting
+  consumer.  Upstream corruption is detectable; downstream corruption
+  is silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.cosim.backplane import (
+    Backplane,
+    MessageAdapter,
+    RegisterAdapter,
+)
+from repro.cosim.kernel import Simulator, Watchdog
+from repro.cosim.msglevel import Channel
+from repro.cosim.signals import Clock, Signal
+from repro.cosim.translevel import FifoDevice, RegisterDevice
+from repro.fault.inject import MASK32, FaultInjector, System
+from repro.fault.spec import FaultSpec
+
+#: Default stall budget: generous against every legitimate burst of
+#: same-time activity in these scenarios, tiny against a real spin.
+DEFAULT_WATCHDOG = Watchdog(max_stalled_activations=4000)
+
+#: Sentinel distinguishing "use the default watchdog" from "none".
+_USE_DEFAULT = object()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One campaign workload."""
+
+    name: str
+    #: target-space description consumed by ``sample_faults``
+    targets: Dict[str, Any]
+    #: model-time horizon bounding every run
+    horizon: float
+    #: builds the system; returns (System, summarize) where
+    #: ``summarize()`` yields the post-run outcome fields
+    build: Callable[[Simulator], Tuple[System, Callable[[], Dict[str, Any]]]]
+
+
+# ----------------------------------------------------------------------
+# coproc: R32 + MAC coprocessor + FIFO + message channel
+# ----------------------------------------------------------------------
+FIFO_BASE = 0x200   # DATA / STATUS / LEVEL
+MAC_BASE = 0x210    # OPA / OPB / ACC / CTL
+OUT_BASE = 0x220    # message window (write = send)
+
+COPROC_WORDS = [7, 21, 1, 255, 33, 129, 64, 5]
+COPROC_COEFF = 3
+END_MARKER = 0xD0E
+
+COPROC_ASM = f"""
+        li   r7, {COPROC_COEFF}     ; coefficient
+        li   r8, {len(COPROC_WORDS)} ; words to process
+        li   r9, 0                  ; processed so far
+        li   r6, 0                  ; software shadow accumulator
+poll:   lw   r1, {FIFO_BASE + 1}(r0) ; FIFO STATUS
+        andi r1, r1, 1
+        beq  r1, r0, poll
+        lw   r1, {FIFO_BASE}(r0)    ; FIFO DATA
+        sw   r1, {MAC_BASE}(r0)     ; MAC OPA
+        sw   r7, {MAC_BASE + 1}(r0) ; MAC OPB
+        li   r2, 1
+        sw   r2, {MAC_BASE + 3}(r0) ; MAC CTL: ACC += OPA*OPB
+        mul  r3, r1, r7             ; software shadow of the same MAC
+        add  r6, r6, r3
+        addi r9, r9, 1
+        bne  r9, r8, poll
+        lw   r2, {MAC_BASE + 2}(r0) ; MAC ACC
+        sw   r2, {OUT_BASE}(r0)     ; report hardware result
+        sw   r6, {OUT_BASE}(r0)     ; report software result
+        li   r4, 1
+        beq  r2, r6, agree
+        li   r4, 0
+agree:  sw   r4, {OUT_BASE}(r0)     ; agreement verdict
+        li   r5, {END_MARKER}
+        sw   r5, {OUT_BASE}(r0)     ; end marker
+        halt
+"""
+
+
+class MacDevice(RegisterDevice):
+    """Multiply-accumulate coprocessor on the register rung.
+
+    Writing CTL with bit 0 set folds OPA*OPB into ACC.
+    """
+
+    OPA, OPB, ACC, CTL = 0, 1, 2, 3
+
+    def __init__(self, sim: Simulator, name: str = "mac") -> None:
+        super().__init__(sim, name, 4, access_time=2.0)
+
+    def on_write(self, index: int, value: int) -> None:
+        super().on_write(index, value)
+        if index == self.CTL and value & 1:
+            self.regs[self.ACC] = (
+                self.regs[self.ACC]
+                + self.regs[self.OPA] * self.regs[self.OPB]
+            ) & MASK32
+
+
+def _build_coproc(
+    sim: Simulator,
+) -> Tuple[System, Callable[[], Dict[str, Any]]]:
+    from repro.isa.assembler import assemble
+    from repro.isa.cpu import Cpu
+    from repro.isa.instructions import Isa
+
+    cpu = Cpu(Isa())
+    cpu.memory.load_image(assemble(COPROC_ASM).image)
+    plane = Backplane(sim, cpu, clock_period=10.0, batch_instructions=4)
+
+    fifo = FifoDevice(sim, "rx", depth=16, access_time=2.0)
+    mac = MacDevice(sim, "mac")
+    out = Channel(
+        sim, "out", latency_per_message=4.0, latency_per_word=1.0
+    )
+    plane.mount(FIFO_BASE, 3, RegisterAdapter(fifo))
+    plane.mount(MAC_BASE, 4, RegisterAdapter(mac))
+    plane.mount(OUT_BASE, 1, MessageAdapter(to_hw=out))
+
+    enable = Signal(sim, "enable", init=0)
+    clk = Clock(sim, "clk", period=20.0, until=2000.0)
+
+    def starter() -> Generator:
+        yield sim.timeout(10.0)
+        enable.set(1)
+
+    def producer() -> Generator:
+        yield from enable.wait_for(1)
+        for word in COPROC_WORDS:
+            yield from clk.rising_edge()
+            fifo.push(word)
+
+    received: List[int] = []
+
+    def monitor() -> Generator:
+        for _ in range(4):
+            item = yield from out.receive()
+            received.append(item)
+
+    sim.process(starter(), name="starter")
+    sim.process(producer(), name="producer")
+    sim.process(monitor(), name="monitor")
+    plane.start()
+
+    system = System(
+        sim,
+        cpu=cpu,
+        signals={"enable": enable, "clk": clk},
+        devices={"rx": fifo, "mac": mac},
+        channels={"out": out},
+    )
+
+    def summarize() -> Dict[str, Any]:
+        completed = cpu.halted and len(received) == 4
+        return {
+            "completed": completed,
+            # verdict word 0 = the shadow computation caught a mismatch
+            "detected": completed and received[2] == 0,
+            "data": list(received),
+        }
+
+    return system, summarize
+
+
+# ----------------------------------------------------------------------
+# msgpipe: parity-protected producer -> transform -> trusting consumer
+# ----------------------------------------------------------------------
+PIPE_WORDS = [5, 9, 12, 33, 7, 21]
+PIPE_OK, PIPE_BAD = 0x600D, 0xBAD
+
+
+def _xor(words: List[int]) -> int:
+    return reduce(lambda a, b: a ^ b, words, 0)
+
+
+def _build_msgpipe(
+    sim: Simulator,
+) -> Tuple[System, Callable[[], Dict[str, Any]]]:
+    a = Channel(sim, "a", latency_per_message=2.0, latency_per_word=1.0)
+    b = Channel(sim, "b", latency_per_message=2.0, latency_per_word=1.0)
+    enable = Signal(sim, "enable", init=0)
+
+    def starter() -> Generator:
+        yield sim.timeout(5.0)
+        enable.set(1)
+
+    def producer() -> Generator:
+        yield from enable.wait_for(1)
+        for word in PIPE_WORDS:
+            yield from a.send(word)
+        yield from a.send(_xor(PIPE_WORDS))
+
+    def transform() -> Generator:
+        words: List[int] = []
+        for _ in range(len(PIPE_WORDS)):
+            word = yield from a.receive()
+            words.append(word)
+        parity = yield from a.receive()
+        ok = parity == _xor(words)
+        doubled = [(w * 2) & MASK32 for w in words]
+        for word in doubled:
+            yield from b.send(word)
+        yield from b.send(_xor(doubled))
+        yield from b.send(PIPE_OK if ok else PIPE_BAD)
+
+    received: List[int] = []
+    expected = len(PIPE_WORDS) + 2
+
+    def consumer() -> Generator:
+        for _ in range(expected):
+            item = yield from b.receive()
+            received.append(item)
+
+    sim.process(starter(), name="starter")
+    sim.process(producer(), name="producer")
+    sim.process(transform(), name="transform")
+    sim.process(consumer(), name="consumer")
+
+    system = System(
+        sim,
+        signals={"enable": enable},
+        channels={"a": a, "b": b},
+    )
+
+    def summarize() -> Dict[str, Any]:
+        completed = len(received) == expected
+        return {
+            "completed": completed,
+            "detected": completed and received[-1] == PIPE_BAD,
+            "data": list(received),
+        }
+
+    return system, summarize
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "coproc": Scenario(
+        name="coproc",
+        targets={
+            "signals": ["enable", "clk"],
+            "devices": {"rx": 3, "mac": 4},
+            "channels": {"out": 4},
+            "cpu": {"regs": 16, "max_count": 200, "pc_bits": 8},
+            "time": (0.0, 2500.0),
+            "data_bits": 16,
+        },
+        horizon=50_000.0,
+        build=_build_coproc,
+    ),
+    "msgpipe": Scenario(
+        name="msgpipe",
+        targets={
+            "signals": ["enable"],
+            "channels": {"a": 7, "b": 8},
+            "time": (0.0, 100.0),
+            "data_bits": 16,
+        },
+        horizon=5_000.0,
+        build=_build_msgpipe,
+    ),
+}
+
+
+def run_scenario(
+    name: str,
+    fault: Optional[FaultSpec] = None,
+    watchdog: Any = _USE_DEFAULT,
+) -> Dict[str, Any]:
+    """Run one scenario once, optionally with one fault armed.
+
+    Returns the JSON-stable outcome record the campaign layer
+    classifies; any exception the run raises (including
+    :class:`~repro.cosim.kernel.HangDetected` from the watchdog) is
+    folded into the record's ``error`` field rather than propagated, so
+    a campaign worker never dies to a misbehaving cell.
+    """
+    scenario = SCENARIOS[name]
+    if watchdog is _USE_DEFAULT:
+        watchdog = DEFAULT_WATCHDOG
+    sim = Simulator()
+    system, summarize = scenario.build(sim)
+    injector = FaultInjector(system)
+    if fault is not None:
+        injector.arm(fault)
+    error: Optional[Dict[str, str]] = None
+    try:
+        sim.run(until=scenario.horizon, watchdog=watchdog)
+    except Exception as exc:  # folded into the record, by design
+        error = {"type": type(exc).__name__, "message": str(exc)[:200]}
+    record = summarize()
+    record.update(
+        scenario=name,
+        error=error,
+        sim_time=sim.now,
+        activations=sim.activations,
+    )
+    return record

@@ -36,10 +36,15 @@ from repro.sweep.config import (
     expand_grid,
     parse_seed_spec,
 )
-from repro.sweep.cache import CACHE_VERSION, ResultCache
+from repro.sweep.cache import (
+    CACHE_VERSION,
+    CacheVersionError,
+    ResultCache,
+)
 from repro.sweep.table import SweepResult
 from repro.sweep.engine import (
     SweepStats,
+    pool_map,
     run_cell,
     run_cell_observed,
     run_sweep,
@@ -59,9 +64,11 @@ __all__ = [
     "expand_grid",
     "parse_seed_spec",
     "CACHE_VERSION",
+    "CacheVersionError",
     "ResultCache",
     "SweepResult",
     "SweepStats",
+    "pool_map",
     "run_cell",
     "run_cell_observed",
     "run_sweep",

@@ -3,9 +3,13 @@
 One file per completed cell, named ``<fingerprint>.json``, holding the
 cache version, the fingerprint, the full config (for human inspection
 and paranoia-checking), and the result record.  Anything unreadable,
-version-skewed, or fingerprint-mismatched reads as a miss — the engine
-then recomputes and overwrites, so a corrupt cache can cost time but
-never correctness.
+fingerprint-mismatched, or written by an *older* schema reads as a
+miss — the engine then recomputes and overwrites, so a corrupt or
+stale cache can cost time but never correctness.  An entry written by
+a *newer* schema than this code understands is different: silently
+treating it as a miss would overwrite data a newer tool considers
+authoritative (and present the user an inexplicably empty/recomputed
+table), so that raises :class:`CacheVersionError` instead.
 
 Writes are atomic (temp file + ``os.replace``) so parallel sweeps
 sharing a cache directory never expose half-written entries.
@@ -22,6 +26,16 @@ from typing import Any, Dict, List, Optional
 CACHE_VERSION = 1
 
 
+class CacheVersionError(RuntimeError):
+    """A cache entry was written by a newer, incompatible schema.
+
+    Raised instead of a silent miss: recomputing over a newer cache
+    would clobber entries another (newer) tool still trusts.  The
+    message names the offending file and both versions so the fix —
+    point ``--cache`` at a fresh directory, or upgrade — is obvious.
+    """
+
+
 class ResultCache:
     """Fingerprint-addressed store of sweep cell records."""
 
@@ -34,7 +48,11 @@ class ResultCache:
         return self.root / f"{fingerprint}.json"
 
     def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
-        """The cached record, or None on miss/corruption/version skew."""
+        """The cached record, or None on miss/corruption/stale version.
+
+        Raises :class:`CacheVersionError` for entries written by a
+        *newer* schema than this code supports (see module docstring).
+        """
         path = self.path_for(fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -43,7 +61,15 @@ class ResultCache:
             return None
         if not isinstance(doc, dict):
             return None
-        if doc.get("version") != CACHE_VERSION:
+        version = doc.get("version")
+        if isinstance(version, int) and version > CACHE_VERSION:
+            raise CacheVersionError(
+                f"cache entry {path} was written by schema version "
+                f"{version}, but this build only supports up to "
+                f"{CACHE_VERSION}; use a fresh cache directory or "
+                f"upgrade the tool"
+            )
+        if version != CACHE_VERSION:
             return None
         if doc.get("fingerprint") != fingerprint:
             return None

@@ -31,11 +31,12 @@ observability payload travels next to the rows, never inside them.
 
 from __future__ import annotations
 
+import functools
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cosim.metrics import MetricsRegistry
 from repro.cosim.trace import Tracer
@@ -151,6 +152,48 @@ def run_cell_observed(
     return record, obs
 
 
+def pool_map(
+    fn: Callable[[Any], Any],
+    jobs: List[Any],
+    workers: int,
+    on_done: Callable[[Any, Any, float], None],
+) -> None:
+    """Run ``fn(job)`` for every job and report each completion.
+
+    The process-pool fan-out extracted from :func:`run_sweep` so other
+    campaign runners (the fault-injection subsystem first among them)
+    reuse the identical execution discipline: ``workers == 1`` (or a
+    single job) runs in-process with no pool; more workers fan jobs
+    over a ``ProcessPoolExecutor``.  ``on_done(job, result, elapsed_s)``
+    fires in *completion* order — callers that need deterministic
+    output must key results by job identity, never by arrival order.
+    ``fn`` must be picklable (a top-level function or a
+    ``functools.partial`` of one).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1 or len(jobs) <= 1:
+        for job in jobs:
+            t0 = time.perf_counter()
+            result = fn(job)
+            on_done(job, result, time.perf_counter() - t0)
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        submitted = {
+            pool.submit(fn, job): (job, time.perf_counter())
+            for job in jobs
+        }
+        outstanding = set(submitted)
+        while outstanding:
+            done, outstanding = wait(
+                outstanding, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                job, t0 = submitted[future]
+                on_done(job, future.result(),
+                        time.perf_counter() - t0)
+
+
 @dataclass
 class SweepStats:
     """Volatile facts about one engine run (never serialized into the
@@ -262,30 +305,13 @@ def run_sweep(
                 probe.extend_from_dicts(obs["probe"])
 
     cell_fn = run_cell_observed if observed else run_cell
-    if workers == 1 or len(pending) <= 1:
-        for config in pending:
-            cell_t0 = time.perf_counter()
-            out = cell_fn(config, weights)
-            record, obs = out if observed else (out, None)
-            finish(config, record, time.perf_counter() - cell_t0, obs)
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            submitted = {
-                pool.submit(cell_fn, config, weights):
-                    (config, time.perf_counter())
-                for config in pending
-            }
-            outstanding = set(submitted)
-            while outstanding:
-                done, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in done:
-                    config, cell_t0 = submitted[future]
-                    out = future.result()
-                    record, obs = out if observed else (out, None)
-                    finish(config, record,
-                           time.perf_counter() - cell_t0, obs)
+
+    def on_done(config: SweepConfig, out: Any, elapsed: float) -> None:
+        record, obs = out if observed else (out, None)
+        finish(config, record, elapsed, obs)
+
+    pool_map(functools.partial(cell_fn, weights=weights),
+             pending, workers, on_done)
 
     if sweep_span is not None:
         sweep_span.__exit__(None, None, None)

@@ -5,11 +5,13 @@ import pytest
 from repro.cosim.kernel import (
     AnyOf,
     Event,
+    HangDetected,
     Interrupt,
     Resource,
     SimulationError,
     Simulator,
     Timeout,
+    Watchdog,
 )
 
 
@@ -678,3 +680,97 @@ class TestAccounting:
         sim.run()
         # initial start + 10 timeouts = 11 activations
         assert sim.activations == 11
+
+
+class TestWatchdog:
+    """The kernel-level guard against processes that never make
+    model-time progress (satellite fix: ``Kernel.run`` previously
+    looped forever on a zero-delay spin)."""
+
+    def test_spinning_process_raises_hang_detected(self):
+        sim = Simulator()
+
+        def spinner():
+            while True:  # classic livelock: busy without advancing time
+                yield sim.timeout(0.0)
+
+        sim.process(spinner(), name="spinner")
+        with pytest.raises(HangDetected) as exc:
+            sim.run(watchdog=Watchdog(max_stalled_activations=500))
+        assert "spinner" in str(exc.value)
+        assert "t=0" in str(exc.value)
+
+    def test_spin_after_progress_still_detected(self):
+        sim = Simulator()
+
+        def late_spinner():
+            yield sim.timeout(7.0)
+            while True:
+                yield sim.timeout(0.0)
+
+        sim.process(late_spinner(), name="late")
+        with pytest.raises(HangDetected):
+            sim.run(watchdog=Watchdog(max_stalled_activations=100))
+        assert sim.now == 7.0
+
+    def test_healthy_simulation_unaffected(self):
+        def workload(sim):
+            def proc():
+                for _ in range(50):
+                    yield sim.timeout(1.0)
+            sim.process(proc())
+
+        plain = Simulator()
+        workload(plain)
+        plain.run()
+
+        watched = Simulator()
+        workload(watched)
+        watched.run(watchdog=Watchdog(max_stalled_activations=10))
+        assert watched.now == plain.now == 50.0
+        assert watched.activations == plain.activations
+
+    def test_simultaneous_events_are_not_a_false_positive(self):
+        sim = Simulator()
+        done = []
+
+        def one(i):
+            yield sim.timeout(1.0)
+            done.append(i)
+
+        for i in range(200):  # 200 resumptions at the same instant
+            sim.process(one(i))
+        sim.run(watchdog=Watchdog(max_stalled_activations=500))
+        assert len(done) == 200
+
+    def test_until_horizon_respected_under_watchdog(self):
+        sim = Simulator()
+
+        def proc():
+            while True:
+                yield sim.timeout(10.0)
+
+        sim.process(proc())
+        assert sim.run(until=35.0, watchdog=Watchdog()) == 35.0
+
+    def test_wall_clock_budget(self):
+        sim = Simulator()
+
+        def creeper():
+            while True:  # advances model time: invisible to stall count
+                yield sim.timeout(1.0)
+
+        sim.process(creeper())
+        with pytest.raises(HangDetected) as exc:
+            sim.run(watchdog=Watchdog(
+                wall_clock_s=0.02, check_every=16,
+            ))
+        assert "wall-clock" in str(exc.value)
+
+    def test_bad_watchdog_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Watchdog(max_stalled_activations=0)
+        with pytest.raises(ValueError):
+            Watchdog(wall_clock_s=0.0)
+        with pytest.raises(ValueError):
+            Watchdog(check_every=0)

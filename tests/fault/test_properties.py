@@ -1,0 +1,129 @@
+"""Property-based robustness harness for the fault subsystem.
+
+Hypothesis drives the fault space instead of hand-picked examples; the
+properties are the subsystem's contract:
+
+* every spec the sampler emits is valid, serializable, and classifies
+  into **exactly one** outcome class;
+* a fault run is a pure function of (scenario, spec) — re-running it
+  yields a byte-identical record, which is what makes classification
+  independent of worker count and cache state;
+* the classifier's precedence chain is total and consistent with the
+  record's observable predicates.
+
+Everything is seeded/derandomized: this suite is deterministic in CI.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fault import (
+    KINDS,
+    OUTCOMES,
+    FaultSpec,
+    SCENARIOS,
+    classify,
+    run_scenario,
+    sample_faults,
+)
+
+MSGPIPE = SCENARIOS["msgpipe"].targets
+
+COMMON = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# spec-level properties (cheap: no simulation)
+# ----------------------------------------------------------------------
+@settings(max_examples=100, **COMMON)
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(0, 30))
+def test_sampler_is_deterministic_and_valid(seed, n):
+    first = sample_faults(MSGPIPE, n, seed=seed)
+    second = sample_faults(MSGPIPE, n, seed=seed)
+    assert first == second
+    assert len(first) == n
+    for spec in first:
+        assert spec.kind in KINDS
+        clone = FaultSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert clone == spec
+        assert clone.fingerprint == spec.fingerprint
+
+
+@settings(max_examples=100, **COMMON)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_fingerprints_distinct_within_a_sample(seed):
+    specs = sample_faults(MSGPIPE, 20, seed=seed)
+    by_fp = {}
+    for spec in specs:
+        prev = by_fp.setdefault(spec.fingerprint, spec)
+        assert prev == spec  # equal fingerprint implies equal spec
+
+
+# ----------------------------------------------------------------------
+# run-level properties (each example simulates msgpipe once or twice)
+# ----------------------------------------------------------------------
+def _golden():
+    # computed once; module-level cache keeps the suite fast
+    if not hasattr(_golden, "record"):
+        _golden.record = run_scenario("msgpipe")
+    return _golden.record
+
+
+@settings(max_examples=25, **COMMON)
+@given(seed=st.integers(0, 2**20), pick=st.integers(0, 11))
+def test_every_fault_classifies_into_exactly_one_class(seed, pick):
+    spec = sample_faults(MSGPIPE, 12, seed=seed)[pick]
+    record = run_scenario("msgpipe", spec)
+    outcome = classify(_golden(), record)
+    assert outcome in OUTCOMES
+    # "exactly one": the observable predicates must agree with the
+    # precedence chain, so no record satisfies two classes at once
+    if record["error"] is not None:
+        assert outcome in ("hang", "crash")
+    elif not record["completed"]:
+        assert outcome == "hang"
+    elif record["detected"]:
+        assert outcome == "detected"
+    elif record["data"] != _golden()["data"]:
+        assert outcome == "sdc"
+    else:
+        assert outcome == "masked"
+
+
+@settings(max_examples=12, **COMMON)
+@given(seed=st.integers(0, 2**20))
+def test_fault_runs_are_reproducible(seed):
+    spec = sample_faults(MSGPIPE, 1, seed=seed)[0]
+    first = run_scenario("msgpipe", spec)
+    second = run_scenario("msgpipe", spec)
+    assert json.dumps(first, sort_keys=True) == \
+        json.dumps(second, sort_keys=True)
+
+
+@settings(max_examples=12, **COMMON)
+@given(seed=st.integers(0, 2**20))
+def test_golden_record_unperturbed_by_prior_fault_runs(seed):
+    spec = sample_faults(MSGPIPE, 1, seed=seed)[0]
+    run_scenario("msgpipe", spec)  # any lingering state would leak here
+    fresh = run_scenario("msgpipe")
+    assert json.dumps(fresh, sort_keys=True) == \
+        json.dumps(_golden(), sort_keys=True)
+
+
+@settings(max_examples=8, **COMMON)
+@given(seed=st.integers(0, 2**20))
+def test_delay_faults_never_corrupt_content(seed):
+    """msg_delay changes timing, never data: by the SBFI taxonomy it
+    must classify masked (or hang, if the delay starves a horizon) —
+    never sdc/detected/crash."""
+    specs = sample_faults(MSGPIPE, 10, seed=seed,
+                          kinds=["msg_delay"])
+    record = run_scenario("msgpipe", specs[0])
+    assert classify(_golden(), record) in ("masked", "hang")

@@ -27,6 +27,9 @@ EXPECTED_MARKERS = {
     ],
     "embedded_interface.py": ["UART transmitted", "timer interrupts:  3"],
     "executable_spec_refinement.py": ["step 1", "hardware: yes"],
+    "fault_campaign.py": [
+        "detection coverage", "outcome classes reached",
+    ],
     "mixed_system.py": ["Mixed Type I / Type II", "matches"],
     "partition_sweep.py": ["cells", "heuristic", "wins"],
     "obs_report.py": ["flamegraph", "convergence", "schema valid"],
@@ -61,6 +64,7 @@ def test_every_example_is_listed():
 #: inside their smoke configurations).
 EXAMPLE_ARGS = {
     "obs_report.py": ["--smoke"],
+    "fault_campaign.py": ["--smoke"],
 }
 
 

@@ -1,0 +1,187 @@
+"""Unit tests for the generated driver and glue, clean and under fault.
+
+These two modules previously had no dedicated tests — they were only
+exercised end-to-end through the Chinook flow.  Here the register
+read/write paths are pinned down directly, then re-checked with the
+fault layer injecting bit-flips on both sides of the interface: into
+the device register file behind the glue (``reg_flip``) and into the
+CPU register carrying the driver's argument (``cpu_reg_flip``).
+"""
+
+import pytest
+
+from repro.cosim.kernel import Simulator
+from repro.fault import FaultSpec, System, arm_fault
+from repro.interface.chinook import synthesize_interface
+from repro.interface.driver import generate_driver
+from repro.interface.glue import build_glue
+from repro.interface.regmap import allocate_register_map
+from repro.interface.spec import gpio_spec, timer_spec, uart_spec
+from repro.isa.assembler import assemble
+from repro.isa.cpu import Cpu, Memory
+from repro.isa.instructions import Isa
+
+ALL = [uart_spec(), timer_spec(), gpio_spec()]
+
+
+# ----------------------------------------------------------------------
+# glue units
+# ----------------------------------------------------------------------
+class TestGlue:
+    def test_decoder_routes_every_mapped_register(self):
+        regmap = allocate_register_map(ALL)
+        glue = build_glue(regmap)
+        for name, spec in regmap.devices.items():
+            for reg in spec.registers:
+                addr = regmap.address_of(name, reg.name)
+                decoded = glue.decode(addr)
+                assert decoded is not None
+                dev, offset = decoded
+                assert dev == name
+                assert regmap.address_of(name, reg.name) == \
+                    regmap.window_of(name)[0] + offset
+
+    def test_unmapped_address_decodes_to_none(self):
+        glue = build_glue(allocate_register_map(ALL))
+        assert glue.decode(0x0) is None
+
+    def test_irq_status_word_is_priority_encoded(self):
+        glue = build_glue(allocate_register_map(ALL))
+        assert glue.irq_lines  # at least the uart interrupts
+        first = glue.irq_lines[0]
+        assert glue.irq_status_word({first: True}) == 1
+        assert glue.irq_status_word({}) == 0
+        everything = {name: True for name in glue.irq_lines}
+        assert glue.irq_status_word(everything) == \
+            (1 << len(glue.irq_lines)) - 1
+
+    def test_area_grows_with_device_count(self):
+        small = build_glue(allocate_register_map([uart_spec()]))
+        large = build_glue(allocate_register_map(ALL))
+        assert 0 < small.area < large.area
+
+    def test_netlist_mentions_every_device(self):
+        glue = build_glue(allocate_register_map(ALL))
+        text = glue.netlist_text()
+        for entry in glue.decoder:
+            assert f"{entry.device}_sel" in text
+
+
+# ----------------------------------------------------------------------
+# driver units
+# ----------------------------------------------------------------------
+class TestDriverCode:
+    def test_routines_respect_access_modes(self):
+        regmap = allocate_register_map(ALL)
+        driver = generate_driver(regmap, build_glue(regmap))
+        assert "read_uart_status" in driver.routines
+        assert "write_uart_status" not in driver.routines
+        with pytest.raises(KeyError, match="access mode"):
+            driver.label_for("uart", "status", "write")
+
+    def test_asm_assembles_and_covers_dispatch(self):
+        regmap = allocate_register_map(ALL)
+        glue = build_glue(regmap)
+        driver = generate_driver(regmap, glue)
+        program = assemble(driver.asm)
+        assert program.size > 10
+        assert "irq_dispatch" in driver.routines
+        for name in glue.irq_lines:
+            assert f"svc_{name}" in driver.routines
+
+    def test_routine_addresses_match_regmap(self):
+        regmap = allocate_register_map(ALL)
+        driver = generate_driver(regmap, build_glue(regmap))
+        addr = regmap.address_of("uart", "data")
+        assert f"lw r2, {addr:#x}(r0)" in driver.asm
+        assert f"sw r1, {addr:#x}(r0)" in driver.asm
+
+
+# ----------------------------------------------------------------------
+# deployed register paths, clean and under injected bit-flips
+# ----------------------------------------------------------------------
+class _RegFile:
+    """A device model backed by a plain register list — exactly the
+    ``.regs`` surface the ``reg_flip`` injector expects."""
+
+    def __init__(self, n_registers: int = 4) -> None:
+        self.regs = [0] * n_registers
+
+    def model(self, offset: int, value: int, is_write: bool) -> int:
+        if is_write:
+            self.regs[offset] = value
+            return 0
+        return self.regs[offset]
+
+
+def _deploy(main_asm):
+    design = synthesize_interface(ALL)
+    program = design.build_program(main_asm)
+    memory = Memory()
+    memory.load_image(program.image)
+    cpu = Cpu(Isa(), memory, pc=program.entry)
+    sim = Simulator()
+    files = {d.name: _RegFile() for d in ALL}
+    models = {name: rf.model for name, rf in files.items()}
+    design.deploy(sim, cpu, models)
+    return cpu, sim, files
+
+
+MAIN = """
+        li  r1, 0x21
+        jal write_uart_data
+        addi r4, r0, 60        ; burn deterministic time between the
+burn:   addi r4, r4, -1        ; write and the read-back
+        bne  r4, r0, burn
+        jal read_uart_data
+        sw  r2, 0x400(r0)
+        halt
+"""
+
+
+class TestDeployedPaths:
+    def test_clean_write_then_read_roundtrips(self):
+        cpu, sim, files = _deploy(MAIN)
+        sim.run(until=1e6)
+        assert cpu.halted
+        assert files["uart"].regs[0] == 0x21
+        assert cpu.memory.ram[0x400] == 0x21
+
+    def test_reg_flip_behind_the_glue_surfaces_on_read(self):
+        # flip bit 4 of the uart data register while the CPU burns
+        # time: the driver's read path must faithfully report the
+        # corrupted hardware state
+        cpu, sim, files = _deploy(MAIN)
+        arm_fault(
+            System(sim, devices={"uart": files["uart"]}),
+            FaultSpec(kind="reg_flip", target="uart", index=0, bit=4,
+                      time=600.0))
+        sim.run(until=1e6)
+        assert cpu.halted
+        assert files["uart"].regs[0] == 0x21 ^ 0x10
+        assert cpu.memory.ram[0x400] == 0x21 ^ 0x10
+
+    def test_cpu_reg_flip_corrupts_the_written_value(self):
+        # corrupt r1 (the driver's argument register) after the second
+        # retired instruction — between `li r1` and the routine's `sw`
+        cpu, sim, files = _deploy(MAIN)
+        arm_fault(
+            System(sim, cpu=cpu),
+            FaultSpec(kind="cpu_reg_flip", target="cpu", index=1,
+                      bit=2, count=2))
+        sim.run(until=1e6)
+        assert cpu.halted
+        assert files["uart"].regs[0] == 0x21 ^ 0x04
+        # the read-back then reports the corrupted store faithfully
+        assert cpu.memory.ram[0x400] == 0x21 ^ 0x04
+
+    def test_flip_after_readback_is_invisible_to_software(self):
+        cpu, sim, files = _deploy(MAIN)
+        arm_fault(
+            System(sim, devices={"uart": files["uart"]}),
+            FaultSpec(kind="reg_flip", target="uart", index=0, bit=4,
+                      time=50_000.0))
+        sim.run(until=1e6)
+        assert cpu.halted
+        assert cpu.memory.ram[0x400] == 0x21       # software saw clean
+        assert files["uart"].regs[0] == 0x21 ^ 0x10  # hardware flipped

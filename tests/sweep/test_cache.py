@@ -2,7 +2,9 @@
 
 import json
 
-from repro.sweep import CACHE_VERSION, ResultCache
+import pytest
+
+from repro.sweep import CACHE_VERSION, CacheVersionError, ResultCache
 
 
 RECORD = {"fingerprint": "f" * 64, "cost": 12.5, "hw_tasks": ["a", "b"]}
@@ -31,11 +33,41 @@ def test_corrupt_file_reads_as_miss(tmp_path):
     assert cache.get(fp) is None
 
 
-def test_version_skew_reads_as_miss(tmp_path):
+def test_older_version_reads_as_miss(tmp_path):
+    """Entries from an *older* schema are safe to recompute over."""
+    cache = ResultCache(tmp_path)
+    fp = "d" * 64
+    cache.path_for(fp).write_text(json.dumps({
+        "version": CACHE_VERSION - 1, "fingerprint": fp, "record": RECORD,
+    }), encoding="utf-8")
+    assert cache.get(fp) is None
+
+
+def test_newer_version_raises_clear_error(tmp_path):
+    """Regression: an entry written by a newer schema used to read as a
+    silent miss, so a sweep against a newer cache would quietly
+    recompute (and clobber) everything.  It must fail loudly instead,
+    naming the file and both versions."""
     cache = ResultCache(tmp_path)
     fp = "d" * 64
     cache.path_for(fp).write_text(json.dumps({
         "version": CACHE_VERSION + 1, "fingerprint": fp, "record": RECORD,
+    }), encoding="utf-8")
+    with pytest.raises(CacheVersionError) as exc:
+        cache.get(fp)
+    message = str(exc.value)
+    assert str(CACHE_VERSION + 1) in message
+    assert str(CACHE_VERSION) in message
+    assert f"{fp}.json" in message
+    # membership checks stay cheap and do not parse the entry
+    assert fp in cache
+
+
+def test_non_integer_version_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = "e" * 64
+    cache.path_for(fp).write_text(json.dumps({
+        "version": "2", "fingerprint": fp, "record": RECORD,
     }), encoding="utf-8")
     assert cache.get(fp) is None
 
