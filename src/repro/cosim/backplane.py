@@ -182,24 +182,31 @@ class Backplane:
         raise SimulationError(f"no adapter mounted at {addr:#x}")
 
     def _drive(self) -> Generator:
+        # Each run_block() call retires a run of internal instructions in
+        # one Python frame (fast path; falls back to step() semantics
+        # when observers are armed).  `steps` counts step()-equivalents
+        # — retired instructions, taken IRQs, and the deferred access —
+        # so the batch budget, and therefore the exact sequence of
+        # timeouts and adapter activations, is identical to the old
+        # one-step()-per-instruction loop at any batch_instructions.
         cpu = self.cpu
+        period = self.clock_period
+        timeout = self.sim.timeout
         while not cpu.halted:
-            batched_cycles = 0
-            for _ in range(self.batch_instructions):
-                result = cpu.step()
-                if isinstance(result, ExternalAccess):
-                    if batched_cycles:
-                        yield self.sim.timeout(
-                            batched_cycles * self.clock_period
-                        )
-                        batched_cycles = 0
-                    yield from self._service(result)
-                else:
-                    batched_cycles += result
+            budget = self.batch_instructions
+            while budget:
+                steps, cycles, access = cpu.run_block(budget)
+                budget -= steps
+                if access is None:
+                    # budget exhausted or halt retired: flush the batch
+                    if cycles:
+                        yield timeout(cycles * period)
+                    break
+                if cycles:
+                    yield timeout(cycles * period)
+                yield from self._service(access)
                 if cpu.halted:
                     break
-            if batched_cycles:
-                yield self.sim.timeout(batched_cycles * self.clock_period)
         return cpu.cycle_count
 
     def _service(self, access: ExternalAccess) -> Generator:

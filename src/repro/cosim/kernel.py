@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from collections import deque
 from typing import (
     Any,
     Callable,
@@ -108,6 +109,9 @@ class Event:
     :class:`repro.cosim.signals.Signal`).
     """
 
+    __slots__ = ("sim", "name", "triggered", "value", "_waiters",
+                 "_callbacks")
+
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
@@ -194,6 +198,9 @@ class Process:
     has since been resumed by something else (e.g. an interrupt).  This
     makes interrupts safe in the presence of pending timeouts.
     """
+
+    __slots__ = ("sim", "gen", "name", "done", "result", "_alive",
+                 "_token", "_pending_interrupt")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str) -> None:
         self.sim = sim
@@ -390,6 +397,13 @@ class Simulator:
         if tracer is not None:
             tracer.bind(self)
         self._queue: List[Tuple[float, int, Process, Any, int]] = []
+        # same-time FIFO fast lane: zero-delay schedules (the dominant
+        # case at pin level) append here instead of paying heapq churn.
+        # Invariant: every entry's time equals `now` — the lane is fully
+        # drained (fired or skipped as stale) before time can advance,
+        # and step() interleaves the two lanes in global (time, seq)
+        # order so determinism is bit-identical to a single heap.
+        self._ready: "deque[Tuple[float, int, Process, Any, int]]" = deque()
         self._seq = 0
         self._procs: List[Process] = []
 
@@ -428,18 +442,46 @@ class Simulator:
         self, delay: float, proc: Process, value: Any, token: int
     ) -> None:
         self._seq += 1
-        heapq.heappush(
-            self._queue, (self.now + delay, self._seq, proc, value, token)
-        )
+        if delay == 0.0:
+            self._ready.append((self.now, self._seq, proc, value, token))
+        else:
+            heapq.heappush(
+                self._queue, (self.now + delay, self._seq, proc, value, token)
+            )
+
+    def _peek_time(self) -> Optional[float]:
+        """Model time of the next scheduled resumption, or ``None`` when
+        idle — the single horizon check shared by :meth:`run` and
+        :meth:`_run_watched` so the two loops cannot drift."""
+        if self._ready:
+            return self.now
+        if self._queue:
+            return self._queue[0][0]
+        return None
 
     def step(self) -> bool:
-        """Run one scheduled resumption.  Returns False when idle."""
-        while self._queue:
-            time, _seq, proc, value, token = heapq.heappop(self._queue)
+        """Run one scheduled resumption.  Returns False when idle.
+
+        Pops from whichever lane holds the globally next ``(time, seq)``
+        entry: the ready lane always sits at the current time, but a
+        heap entry at the same time with a smaller sequence number was
+        scheduled earlier and must fire first.
+        """
+        ready = self._ready
+        queue = self._queue
+        while ready or queue:
+            if ready and (
+                not queue
+                or queue[0][0] > self.now
+                or (queue[0][0] == self.now and queue[0][1] > ready[0][1])
+            ):
+                time, _seq, proc, value, token = ready.popleft()
+            else:
+                time, _seq, proc, value, token = heapq.heappop(queue)
+                if time < self.now:
+                    raise SimulationError("time went backwards")
             if not proc.alive or token != proc._token:
                 continue
-            if time < self.now:
-                raise SimulationError("time went backwards")
             self.now = time
             proc._resume(value, token)
             return True
@@ -461,14 +503,22 @@ class Simulator:
         """
         if watchdog is not None:
             return self._run_watched(until, watchdog)
-        while self._queue:
-            head = self._queue[0][0]
-            if until is not None and head > until:
+        step = self.step
+        if until is None:
+            while step():
+                pass
+            return self.now
+        peek = self._peek_time
+        while True:
+            head = peek()
+            if head is None:
+                break
+            if head > until:
                 # advance to the horizon, but never rewind: an `until`
                 # in the past must not drag `now` backwards
                 self.now = max(self.now, until)
                 return self.now
-            if not self.step():
+            if not step():
                 break
         return self.now
 
@@ -482,8 +532,10 @@ class Simulator:
             None if watchdog.wall_clock_s is None
             else time.perf_counter() + watchdog.wall_clock_s
         )
-        while self._queue:
-            head = self._queue[0][0]
+        while True:
+            head = self._peek_time()
+            if head is None:
+                break
             if until is not None and head > until:
                 self.now = max(self.now, until)
                 return self.now
@@ -513,9 +565,10 @@ class Simulator:
     def _stalled_suspects(self) -> List[str]:
         """Names of live processes scheduled at the stuck time (the
         most useful attribution the queue can give a hang report)."""
+        pending = list(self._ready) + self._queue
         return sorted({
             proc.name
-            for when, _seq, proc, _value, token in self._queue
+            for when, _seq, proc, _value, token in pending
             if when <= self.now and proc.alive and token == proc._token
         })[:8]
 
@@ -525,7 +578,8 @@ class Simulator:
         return list(self._procs)
 
     def __repr__(self) -> str:
+        pending = len(self._queue) + len(self._ready)
         return (
-            f"Simulator(now={self.now}, pending={len(self._queue)}, "
+            f"Simulator(now={self.now}, pending={pending}, "
             f"activations={self.activations})"
         )

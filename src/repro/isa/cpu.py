@@ -190,6 +190,11 @@ class Cpu:
         self._pending: Optional[Tuple[int, Instruction, ExternalAccess]] = None
         #: observers called as fn(pc, instr) after each retired instruction
         self.observers: List[Callable[[int, Instruction], None]] = []
+        # fast-path operand cache: word -> (opcode, rd, rs1, rs2, imm,
+        # cycles, Instruction, custom-semantics-or-None), invalidated
+        # whenever the ISA's version changes (custom ops, cycle edits)
+        self._ops: Dict[int, tuple] = {}
+        self._ops_version = -1
 
     # ------------------------------------------------------------------
     # register access helpers (r0 is hardwired to zero)
@@ -286,7 +291,12 @@ class Cpu:
         self, max_instructions: int = 1_000_000
     ) -> int:
         """Run until ``halt`` (pure-software mode; external accesses are a
-        :class:`CpuError` here).  Returns cycles consumed."""
+        :class:`CpuError` here).  Returns cycles consumed.
+
+        Executes on the :meth:`run_block` fast path, which falls back to
+        :meth:`step` semantics automatically whenever observers are
+        armed — the result is observably identical either way.
+        """
         start_cycles = self.cycle_count
         executed = 0
         while not self.halted:
@@ -295,88 +305,372 @@ class Cpu:
                     f"instruction budget {max_instructions} exhausted "
                     f"at pc={self.pc:#x}"
                 )
-            result = self.step()
-            if isinstance(result, ExternalAccess):
+            steps, _cycles, access = self.run_block(
+                max_instructions - executed
+            )
+            if access is not None:
                 raise CpuError(
-                    f"external access at {result.addr:#x} outside "
+                    f"external access at {access.addr:#x} outside "
                     "co-simulation; mount the region synchronously or "
                     "run under a backplane"
                 )
-            executed += 1
+            executed += steps
         return self.cycle_count - start_cycles
+
+    # ------------------------------------------------------------------
+    # fast-path execution
+    # ------------------------------------------------------------------
+    def run_block(
+        self, max_steps: int = 1 << 30
+    ) -> Tuple[int, int, Optional[ExternalAccess]]:
+        """Execute up to ``max_steps`` step-equivalents in one call.
+
+        Observably identical to calling :meth:`step` up to ``max_steps``
+        times, stopping early after ``halt`` retires or an external
+        access defers — but the common case (no observers armed) retires
+        whole runs of instructions in a single Python frame over a
+        pre-decoded operand cache, skipping the per-instruction
+        method-call and re-decode overhead (the equivalence contract is
+        spelled out in DESIGN.md §9 and enforced by
+        ``tests/isa/test_fastpath.py``).
+
+        Returns ``(steps, cycles, access)``:
+
+        * ``steps`` — step-equivalents consumed: retired instructions
+          plus taken interrupts, plus one for a deferred external
+          access (mirroring what a ``step()`` loop would count);
+        * ``cycles`` — the sum a ``step()`` loop would have returned:
+          retired-instruction cycles plus interrupt-entry cycles (the
+          latter are *returned* for the caller's timekeeping but — as
+          on the slow path — never charged into ``cycle_count``).  A
+          deferred instruction's cycles are charged by
+          :meth:`complete_access`, as on the slow path;
+        * ``access`` — the pending :class:`ExternalAccess` if one was
+          hit (the CPU is then frozen until :meth:`complete_access`).
+
+        Whenever observers are armed (profilers, fault saboteurs, trace
+        hooks) the fast path disables itself and the same loop runs
+        over :meth:`step`, preserving the repo's convention that hooks
+        cost nothing when absent and change nothing when present.
+        """
+        if self.halted or max_steps <= 0:
+            return 0, 0, None
+        if self._pending is not None:
+            raise CpuError("run_block() while an external access is pending")
+        if self.observers:
+            return self._run_block_slow(max_steps)
+
+        memory = self.memory
+        ram_get = memory.ram.get
+        regs = self.regs
+        isa = self.isa
+        if self._ops_version != isa.version:
+            self._ops.clear()
+            self._ops_version = isa.version
+        ops_get = self._ops.get
+        instr0 = self.instr_count
+        cycles0 = self.cycle_count
+        pc = self.pc
+        retired = 0
+        steps = 0
+        cycles = 0
+        irq_cycles = 0  # returned to the caller, never in cycle_count
+        try:
+            while steps < max_steps:
+                if self.irq_pending and self.irq_enabled:
+                    self.pc = pc
+                    irq_cycles += self._take_irq()
+                    pc = self.pc
+                    steps += 1
+                    continue
+                word = ram_get(pc)
+                if word is None:
+                    raise CpuError(
+                        f"fetch from unprogrammed address {pc:#x}"
+                    )
+                entry = ops_get(word)
+                if entry is None:
+                    entry = self._predecode(word, pc)
+                op, rd, rs1, rs2, imm, cyc, instr, custom = entry
+                a = regs[rs1] if rs1 else 0
+                next_pc = pc + 1
+                if custom is not None:
+                    v = custom(a, regs[rs2] if rs2 else 0) & MASK32
+                    if rd:
+                        regs[rd] = v
+                elif op == 0x20:  # ADDI
+                    if rd:
+                        regs[rd] = (a + imm) & MASK32
+                elif op == 0x01:  # ADD
+                    if rd:
+                        regs[rd] = (a + (regs[rs2] if rs2 else 0)) & MASK32
+                elif 0x40 <= op <= 0x43:  # BEQ/BNE/BLT/BGE
+                    lhs = regs[rd] if rd else 0
+                    if op == 0x40:
+                        taken = lhs == a
+                    elif op == 0x41:
+                        taken = lhs != a
+                    else:
+                        sl = lhs - 0x100000000 if lhs & 0x80000000 else lhs
+                        sa = a - 0x100000000 if a & 0x80000000 else a
+                        taken = sl < sa if op == 0x42 else sl >= sa
+                    if taken:
+                        next_pc = pc + 1 + imm
+                        cyc += 1  # taken-branch penalty
+                elif op == 0x30 or op == 0x31:  # LW / SW
+                    # call-out: expose architectural state to handlers
+                    self.pc = pc
+                    self.instr_count = instr0 + retired
+                    self.cycle_count = cycles0 + cycles
+                    try:
+                        if op == 0x30:
+                            v = memory.read(a + imm) & MASK32
+                            if rd:
+                                regs[rd] = v
+                        else:
+                            memory.write(a + imm, regs[rd] if rd else 0)
+                    except _Defer as defer:
+                        self._pending = (pc, instr, defer.access)
+                        return steps + 1, cycles + irq_cycles, defer.access
+                elif op == 0x02:  # SUB
+                    if rd:
+                        regs[rd] = (a - (regs[rs2] if rs2 else 0)) & MASK32
+                elif op == 0x03:  # MUL
+                    if rd:
+                        regs[rd] = (a * (regs[rs2] if rs2 else 0)) & MASK32
+                elif op == 0x04:  # DIV
+                    v = self._div(a, regs[rs2] if rs2 else 0) & MASK32
+                    if rd:
+                        regs[rd] = v
+                elif op == 0x05:  # MOD
+                    v = self._mod(a, regs[rs2] if rs2 else 0) & MASK32
+                    if rd:
+                        regs[rd] = v
+                elif op == 0x06:  # AND
+                    if rd:
+                        regs[rd] = a & (regs[rs2] if rs2 else 0)
+                elif op == 0x07:  # OR
+                    if rd:
+                        regs[rd] = a | (regs[rs2] if rs2 else 0)
+                elif op == 0x08:  # XOR
+                    if rd:
+                        regs[rd] = a ^ (regs[rs2] if rs2 else 0)
+                elif op == 0x09:  # SLL
+                    if rd:
+                        regs[rd] = (
+                            a << ((regs[rs2] if rs2 else 0) & 31)
+                        ) & MASK32
+                elif op == 0x0A:  # SRL
+                    if rd:
+                        regs[rd] = (a & MASK32) >> (
+                            (regs[rs2] if rs2 else 0) & 31
+                        )
+                elif op == 0x0B:  # SRA
+                    sa = a - 0x100000000 if a & 0x80000000 else a
+                    if rd:
+                        regs[rd] = (
+                            sa >> ((regs[rs2] if rs2 else 0) & 31)
+                        ) & MASK32
+                elif op == 0x0C:  # SLT
+                    b = regs[rs2] if rs2 else 0
+                    sa = a - 0x100000000 if a & 0x80000000 else a
+                    sb = b - 0x100000000 if b & 0x80000000 else b
+                    if rd:
+                        regs[rd] = int(sa < sb)
+                elif op == 0x0D:  # SLTU
+                    if rd:
+                        regs[rd] = int(
+                            (a & MASK32) < ((regs[rs2] if rs2 else 0)
+                                            & MASK32)
+                        )
+                elif op == 0x21:  # ANDI
+                    if rd:
+                        regs[rd] = a & (imm & 0xFFFF)
+                elif op == 0x22:  # ORI
+                    if rd:
+                        regs[rd] = (a | (imm & 0xFFFF)) & MASK32
+                elif op == 0x23:  # XORI
+                    if rd:
+                        regs[rd] = (a ^ (imm & 0xFFFF)) & MASK32
+                elif op == 0x24:  # SLLI
+                    if rd:
+                        regs[rd] = (a << (imm & 31)) & MASK32
+                elif op == 0x25:  # SRLI
+                    if rd:
+                        regs[rd] = (a & MASK32) >> (imm & 31)
+                elif op == 0x26:  # SLTI
+                    sa = a - 0x100000000 if a & 0x80000000 else a
+                    if rd:
+                        regs[rd] = int(sa < imm)
+                elif op == 0x27:  # LUI
+                    if rd:
+                        regs[rd] = ((imm & 0xFFFF) << 16) & MASK32
+                elif op == 0x50:  # J
+                    next_pc = imm
+                elif op == 0x51:  # JAL
+                    regs[15] = (pc + 1) & MASK32
+                    next_pc = imm
+                elif op == 0x52:  # JR
+                    next_pc = a
+                elif op == 0x60:  # RETI
+                    next_pc = self.epc
+                    self.irq_enabled = True
+                elif op == 0x7F:  # HALT
+                    self.halted = True
+                    next_pc = pc
+                else:  # pragma: no cover - decode guarantees known opcodes
+                    raise CpuError(f"unimplemented opcode {op:#x}")
+
+                cycles += cyc
+                retired += 1
+                steps += 1
+                pc = next_pc
+                if self.halted:
+                    break
+        finally:
+            self.pc = pc
+            self.instr_count = instr0 + retired
+            self.cycle_count = cycles0 + cycles
+        return steps, cycles + irq_cycles, None
+
+    def _run_block_slow(self, max_steps: int) \
+            -> Tuple[int, int, Optional[ExternalAccess]]:
+        """:meth:`run_block` semantics over plain :meth:`step` calls —
+        the automatic fallback while observers are armed."""
+        steps = 0
+        cycles = 0
+        while steps < max_steps and not self.halted:
+            result = self.step()
+            steps += 1
+            if isinstance(result, ExternalAccess):
+                return steps, cycles, result
+            cycles += result
+        return steps, cycles, None
+
+    def _predecode(self, word: int, pc: int) -> tuple:
+        """Fill one fast-path operand-cache entry for ``word``."""
+        isa = self.isa
+        try:
+            instr = isa.decode(word)
+        except ValueError as exc:
+            raise CpuError(f"pc={pc:#x}: {exc}") from None
+        custom = isa.custom(instr.opcode)
+        entry = (
+            instr.opcode, instr.rd, instr.rs1, instr.rs2, instr.imm,
+            isa.cycle_table()[instr.opcode], instr,
+            custom.semantics if custom is not None else None,
+        )
+        self._ops[word] = entry
+        return entry
 
     # ------------------------------------------------------------------
     def _execute(self, instr: Instruction) -> int:
         op = instr.opcode
         cycles = self.isa.cycles_of(op)
         next_pc = self.pc + 1
-        a = self.get_reg(instr.rs1)
-        b = self.get_reg(instr.rs2)
+        # read the register file once; r0 semantics (reads as zero,
+        # writes discarded) are kept inline instead of paying a
+        # get_reg/set_reg method call per operand
+        regs = self.regs
+        rd = instr.rd
+        rs1 = instr.rs1
+        rs2 = instr.rs2
+        a = regs[rs1] if rs1 else 0
+        b = regs[rs2] if rs2 else 0
 
         custom = self.isa.custom(op)
         if custom is not None:
-            self.set_reg(instr.rd, custom.semantics(a, b) & MASK32)
+            v = custom.semantics(a, b) & MASK32
+            if rd:
+                regs[rd] = v
         elif op == Opcode.ADD:
-            self.set_reg(instr.rd, a + b)
+            if rd:
+                regs[rd] = (a + b) & MASK32
         elif op == Opcode.SUB:
-            self.set_reg(instr.rd, a - b)
+            if rd:
+                regs[rd] = (a - b) & MASK32
         elif op == Opcode.MUL:
-            self.set_reg(instr.rd, a * b)
+            if rd:
+                regs[rd] = (a * b) & MASK32
         elif op == Opcode.DIV:
-            self.set_reg(instr.rd, self._div(a, b))
+            v = self._div(a, b) & MASK32
+            if rd:
+                regs[rd] = v
         elif op == Opcode.MOD:
-            self.set_reg(instr.rd, self._mod(a, b))
+            v = self._mod(a, b) & MASK32
+            if rd:
+                regs[rd] = v
         elif op == Opcode.AND:
-            self.set_reg(instr.rd, a & b)
+            if rd:
+                regs[rd] = a & b
         elif op == Opcode.OR:
-            self.set_reg(instr.rd, a | b)
+            if rd:
+                regs[rd] = a | b
         elif op == Opcode.XOR:
-            self.set_reg(instr.rd, a ^ b)
+            if rd:
+                regs[rd] = a ^ b
         elif op == Opcode.SLL:
-            self.set_reg(instr.rd, a << (b & 31))
+            if rd:
+                regs[rd] = (a << (b & 31)) & MASK32
         elif op == Opcode.SRL:
-            self.set_reg(instr.rd, (a & MASK32) >> (b & 31))
+            if rd:
+                regs[rd] = (a & MASK32) >> (b & 31)
         elif op == Opcode.SRA:
-            self.set_reg(instr.rd, _signed(a) >> (b & 31))
+            if rd:
+                regs[rd] = (_signed(a) >> (b & 31)) & MASK32
         elif op == Opcode.SLT:
-            self.set_reg(instr.rd, int(_signed(a) < _signed(b)))
+            if rd:
+                regs[rd] = int(_signed(a) < _signed(b))
         elif op == Opcode.SLTU:
-            self.set_reg(instr.rd, int((a & MASK32) < (b & MASK32)))
+            if rd:
+                regs[rd] = int((a & MASK32) < (b & MASK32))
         elif op == Opcode.ADDI:
-            self.set_reg(instr.rd, a + instr.imm)
+            if rd:
+                regs[rd] = (a + instr.imm) & MASK32
         elif op == Opcode.ANDI:
-            self.set_reg(instr.rd, a & (instr.imm & 0xFFFF))
+            if rd:
+                regs[rd] = a & (instr.imm & 0xFFFF)
         elif op == Opcode.ORI:
-            self.set_reg(instr.rd, a | (instr.imm & 0xFFFF))
+            if rd:
+                regs[rd] = (a | (instr.imm & 0xFFFF)) & MASK32
         elif op == Opcode.XORI:
-            self.set_reg(instr.rd, a ^ (instr.imm & 0xFFFF))
+            if rd:
+                regs[rd] = (a ^ (instr.imm & 0xFFFF)) & MASK32
         elif op == Opcode.SLLI:
-            self.set_reg(instr.rd, a << (instr.imm & 31))
+            if rd:
+                regs[rd] = (a << (instr.imm & 31)) & MASK32
         elif op == Opcode.SRLI:
-            self.set_reg(instr.rd, (a & MASK32) >> (instr.imm & 31))
+            if rd:
+                regs[rd] = (a & MASK32) >> (instr.imm & 31)
         elif op == Opcode.SLTI:
-            self.set_reg(instr.rd, int(_signed(a) < instr.imm))
+            if rd:
+                regs[rd] = int(_signed(a) < instr.imm)
         elif op == Opcode.LUI:
-            self.set_reg(instr.rd, (instr.imm & 0xFFFF) << 16)
+            if rd:
+                regs[rd] = ((instr.imm & 0xFFFF) << 16) & MASK32
         elif op == Opcode.LW:
-            self.set_reg(instr.rd, self.memory.read(a + instr.imm))
+            v = self.memory.read(a + instr.imm) & MASK32
+            if rd:
+                regs[rd] = v
         elif op == Opcode.SW:
-            self.memory.write(a + instr.imm, self.get_reg(instr.rd))
+            self.memory.write(a + instr.imm, regs[rd] if rd else 0)
         elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
-            lhs = self.get_reg(instr.rd)
-            taken = {
-                Opcode.BEQ: lhs == a,
-                Opcode.BNE: lhs != a,
-                Opcode.BLT: _signed(lhs) < _signed(a),
-                Opcode.BGE: _signed(lhs) >= _signed(a),
-            }[Opcode(op)]
+            lhs = regs[rd] if rd else 0
+            if op == Opcode.BEQ:
+                taken = lhs == a
+            elif op == Opcode.BNE:
+                taken = lhs != a
+            elif op == Opcode.BLT:
+                taken = _signed(lhs) < _signed(a)
+            else:
+                taken = _signed(lhs) >= _signed(a)
             if taken:
                 next_pc = self.pc + 1 + instr.imm
                 cycles += 1  # taken-branch penalty
         elif op == Opcode.J:
             next_pc = instr.imm
         elif op == Opcode.JAL:
-            self.set_reg(15, self.pc + 1)
+            regs[15] = (self.pc + 1) & MASK32
             next_pc = instr.imm
         elif op == Opcode.JR:
             next_pc = a

@@ -153,6 +153,46 @@ class CustomOp:
             raise ValueError("custom op cycles must be >= 1")
 
 
+class _CycleMap(dict):
+    """The ISA's opcode→cycles override table, invalidation-aware.
+
+    Behaves exactly like the plain dict it replaces, but bumps the
+    owning :class:`Isa`'s :attr:`~Isa.version` on every mutation so the
+    memoized :meth:`Isa.cycle_table` (and any CPU-side cache keyed on
+    the version) can never serve stale timing.
+    """
+
+    def __init__(self, isa: "Isa", *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._isa = isa
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self._isa.version += 1
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self._isa.version += 1
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self._isa.version += 1
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self._isa.version += 1
+        return result
+
+    def clear(self) -> None:
+        super().clear()
+        self._isa.version += 1
+
+    def setdefault(self, key, default=None):
+        result = super().setdefault(key, default)
+        self._isa.version += 1
+        return result
+
+
 class Isa:
     """An R32 ISA variant: base opcodes plus installed custom ops.
 
@@ -161,13 +201,25 @@ class Isa:
     hardware/software boundary of a Type I system, and moving a function
     into a custom instruction is the paper's Section 4.3 form of
     hardware/software partitioning.
+
+    Decoding is memoized per 32-bit word (an executed word decodes to
+    the same :class:`Instruction` forever under a fixed custom-op set),
+    and the per-opcode timing model can be flattened into one dict by
+    :meth:`cycle_table`.  :attr:`version` counts every mutation that
+    could invalidate either — installing a custom op or editing
+    :attr:`cycles` — so caches key on it.
     """
 
     def __init__(self, name: str = "r32") -> None:
         self.name = name
         self._customs: Dict[int, CustomOp] = {}
         self._custom_by_name: Dict[str, CustomOp] = {}
-        self.cycles: Dict[int, int] = dict(DEFAULT_CYCLES)
+        #: bumped on any change to decode or timing behavior
+        self.version = 0
+        self.cycles: Dict[int, int] = _CycleMap(self, DEFAULT_CYCLES)
+        self._decode_cache: Dict[int, Instruction] = {}
+        self._cycle_table: Optional[Dict[int, int]] = None
+        self._cycle_table_version = -1
 
     def add_custom(self, op: CustomOp) -> CustomOp:
         """Install a custom instruction (R-type)."""
@@ -178,6 +230,9 @@ class Isa:
             raise ValueError(f"mnemonic {op.name!r} already in use")
         self._customs[op.opcode] = op
         self._custom_by_name[op.name] = op
+        # a formerly-illegal word may now decode; drop the memo table
+        self._decode_cache.clear()
+        self.version += 1
         return op
 
     def next_custom_opcode(self) -> int:
@@ -232,6 +287,22 @@ class Isa:
             return self._customs[opcode].cycles
         return self.cycles.get(opcode, 1)
 
+    def cycle_table(self) -> Dict[int, int]:
+        """The timing model flattened to one opcode→cycles dict.
+
+        Covers every decodable opcode (all base opcodes plus installed
+        customs), so an executor may index it with any decoded
+        instruction's opcode without a fallback.  Memoized against
+        :attr:`version`; treat the returned dict as read-only.
+        """
+        if self._cycle_table_version != self.version:
+            table = {int(op): self.cycles_of(int(op)) for op in Opcode}
+            for code in self._customs:
+                table[code] = self.cycles_of(code)
+            self._cycle_table = table
+            self._cycle_table_version = self.version
+        return self._cycle_table
+
     # ------------------------------------------------------------------
     # encode / decode
     # ------------------------------------------------------------------
@@ -253,7 +324,25 @@ class Isa:
         return word
 
     def decode(self, word: int) -> Instruction:
-        """Decode a 32-bit word."""
+        """Decode a 32-bit word (memoized per word value).
+
+        The memo table is invalidated when a custom op is installed;
+        illegal words are never cached, so they stay re-decodable after
+        the custom space grows over them.
+        """
+        instr = self._decode_cache.get(word)
+        if instr is None:
+            instr = self.decode_uncached(word)
+            self._decode_cache[word] = instr
+        return instr
+
+    def decode_uncached(self, word: int) -> Instruction:
+        """Decode a 32-bit word without consulting the memo table.
+
+        The reference decode path: :meth:`decode` is defined as a cache
+        over exactly this function (asserted by the fast-path
+        differential tests and timed by ``benchmarks/test_bench_isa``).
+        """
         opcode = (word >> 24) & 0xFF
         if opcode not in self._customs:
             try:

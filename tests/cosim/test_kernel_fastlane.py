@@ -1,0 +1,296 @@
+"""Differential tests for the kernel's same-time scheduling fast lane.
+
+The zero-delay FIFO lane bypasses heapq for the dominant pin-level
+case, but the kernel's determinism contract — simultaneous events fire
+in the order they were scheduled, globally by ``(time, seq)`` — must
+hold bit-for-bit.  A ``_HeapOnlySimulator`` that routes *everything*
+through the heap (the pre-fast-lane behavior) is the reference;
+hypothesis-generated workloads mixing zero and non-zero delays, event
+fires, joins, interrupts, and resource contention must produce
+identical resume logs, times, and activation counts on both.
+"""
+
+import heapq
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cosim.kernel import (
+    AnyOf,
+    HangDetected,
+    Interrupt,
+    Resource,
+    Simulator,
+    Watchdog,
+)
+
+COMMON = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class _HeapOnlySimulator(Simulator):
+    """Reference scheduler: every wakeup pays full heapq churn."""
+
+    def _schedule(self, delay, proc, value, token):
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self.now + delay, self._seq, proc, value, token)
+        )
+
+
+# ----------------------------------------------------------------------
+# workload generator: per-process op scripts over shared events/resource
+# ----------------------------------------------------------------------
+N_EVENTS = 4
+
+op_st = st.one_of(
+    st.tuples(st.just("timeout"),
+              st.sampled_from([0.0, 0.0, 0.0, 1.0, 2.5, 7.0])),
+    st.tuples(st.just("wait"), st.integers(0, N_EVENTS - 1)),
+    st.tuples(st.just("fire"), st.integers(0, N_EVENTS - 1)),
+    st.tuples(st.just("anyof"), st.integers(0, N_EVENTS - 2)),
+    st.tuples(st.just("join"), st.integers(0, 3)),
+    st.tuples(st.just("interrupt"), st.integers(0, 3)),
+    st.tuples(st.just("resource"),
+              st.sampled_from([0.0, 0.0, 1.0])),
+)
+
+scripts_st = st.lists(
+    st.lists(op_st, min_size=1, max_size=6), min_size=1, max_size=5)
+
+
+def run_workload(sim_cls, scripts):
+    """Execute the scripted workload; return the full resume log."""
+    sim = sim_cls()
+    events = [sim.event(f"e{i}") for i in range(N_EVENTS)]
+    resource = Resource(sim, "res")
+    procs = []
+    log = []
+
+    def body(pid, script):
+        for n, (op, arg) in enumerate(script):
+            log.append((pid, n, op, sim.now, sim.activations))
+            if op == "timeout":
+                got = yield sim.timeout(arg, value=(pid, n))
+                log.append((pid, n, "woke", sim.now, got))
+            elif op == "wait":
+                if not events[arg].triggered:
+                    got = yield events[arg]
+                    log.append((pid, n, "got", sim.now, got))
+            elif op == "fire":
+                if not events[arg].triggered:
+                    events[arg].succeed((pid, n))
+            elif op == "anyof":
+                pair = yield AnyOf(events[arg:arg + 2])
+                log.append((pid, n, "any", sim.now, pair[1]))
+            elif op == "join":
+                if arg < len(procs) and procs[arg] is not None:
+                    got = yield procs[arg]
+                    log.append((pid, n, "joined", sim.now, got))
+            elif op == "interrupt":
+                if arg < len(procs) and procs[arg] is not None:
+                    procs[arg].interrupt(cause=(pid, n))
+            elif op == "resource":
+                try:
+                    yield from resource.acquire()
+                except Interrupt:
+                    log.append((pid, n, "intr", sim.now, None))
+                    continue
+                yield sim.timeout(arg)
+                resource.release()
+        return pid
+
+    for pid, script in enumerate(scripts):
+        # pad procs as we go so "join"/"interrupt" targets resolve the
+        # same way on both simulators
+        procs.append(None)
+        gen = body(pid, script)
+
+        def wrapper(gen=gen, pid=pid):
+            try:
+                result = yield from gen
+            except Interrupt:
+                log.append((pid, -1, "killed", sim.now, None))
+                result = None
+            return result
+
+        procs[pid] = sim.process(wrapper(), name=f"p{pid}")
+
+    final = sim.run()
+    return log, final, sim.activations, sim.now
+
+
+class TestSchedulingDifferential:
+    @settings(max_examples=80, **COMMON)
+    @given(scripts=scripts_st)
+    def test_fast_lane_matches_heap_only(self, scripts):
+        fast = run_workload(Simulator, scripts)
+        ref = run_workload(_HeapOnlySimulator, scripts)
+        assert fast == ref
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        """The documented determinism contract, pinned explicitly: a
+        zero-delay wakeup scheduled *after* a timed wakeup landing at
+        the same instant fires second (global (time, seq) order)."""
+        for sim_cls in (Simulator, _HeapOnlySimulator):
+            sim = sim_cls()
+            order = []
+
+            def timed():
+                yield sim.timeout(5.0)
+                order.append("timed")
+
+            def firer():
+                yield sim.timeout(5.0)  # same instant, later seq
+                order.append("firer")
+
+            sim.process(timed(), name="timed")
+            sim.process(firer(), name="firer")
+            sim.run()
+            assert order == ["timed", "firer"], sim_cls.__name__
+
+    def test_zero_delay_storm_interleaves_with_heap_entries(self):
+        """Zero-delay chains must not starve or overtake a same-time
+        heap entry scheduled earlier."""
+
+        def chain(sim, log, n):
+            for i in range(n):
+                log.append(("chain", i, sim.now))
+                yield sim.timeout(0.0)
+
+        def sleeper(sim, log):
+            yield sim.timeout(0.0)
+            log.append(("sleeper", 0, sim.now))
+            yield sim.timeout(3.0)
+            log.append(("sleeper", 1, sim.now))
+
+        logs = []
+        for sim_cls in (Simulator, _HeapOnlySimulator):
+            sim = sim_cls()
+            log = []
+            sim.process(chain(sim, log, 6), name="chain")
+            sim.process(sleeper(sim, log), name="sleeper")
+            sim.run()
+            logs.append((log, sim.activations, sim.now))
+        assert logs[0] == logs[1]
+
+
+class TestRunHorizon:
+    def make(self, sim_cls):
+        sim = sim_cls()
+
+        def ticker():
+            while True:
+                yield sim.timeout(0.0)
+                yield sim.timeout(2.0)
+
+        sim.process(ticker(), name="ticker")
+        return sim
+
+    @pytest.mark.parametrize("sim_cls", [Simulator, _HeapOnlySimulator])
+    def test_until_stops_at_horizon(self, sim_cls):
+        sim = self.make(sim_cls)
+        assert sim.run(until=7.0) == 7.0
+        assert sim.now == 7.0
+
+    @pytest.mark.parametrize("sim_cls", [Simulator, _HeapOnlySimulator])
+    def test_until_in_past_never_rewinds(self, sim_cls):
+        sim = self.make(sim_cls)
+        sim.run(until=6.0)
+        assert sim.run(until=2.0) == 6.0
+        assert sim.now == 6.0
+
+    def test_until_now_with_ready_entries_fires_them(self):
+        """Entries in the zero-delay lane sit at the current time, so a
+        horizon of exactly `now` must still let them fire."""
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(0.0)
+            fired.append(sim.now)
+
+        sim.process(proc(), name="p")
+        sim.run(until=0.0)
+        assert fired == [0.0]
+
+
+class TestWatchdogFastLane:
+    def test_spin_hang_detected_at_identical_point(self):
+        """A zero-delay spin loop lives entirely in the fast lane; the
+        watchdog must still see every resumption and both schedulers
+        must kill the run at the same activation count."""
+        counts = []
+        for sim_cls in (Simulator, _HeapOnlySimulator):
+            sim = sim_cls()
+
+            def spin():
+                while True:
+                    yield sim.timeout(0.0)
+
+            sim.process(spin(), name="spinner")
+            with pytest.raises(HangDetected) as err:
+                sim.run(watchdog=Watchdog(max_stalled_activations=500))
+            assert "spinner" in str(err.value)
+            counts.append(sim.activations)
+        assert counts[0] == counts[1]
+
+    @settings(max_examples=25, **COMMON)
+    @given(scripts=scripts_st)
+    def test_watched_run_matches_unwatched(self, scripts):
+        """A generous watchdog must not perturb scheduling at all."""
+        plain = run_workload(Simulator, scripts)
+        watched = run_workload_watched(scripts)
+        assert plain == watched
+
+
+def run_workload_watched(scripts):
+    """run_workload, but through the watched run loop."""
+    original_run = Simulator.run
+
+    def watched_run(self, until=None, watchdog=None):
+        return original_run(
+            self, until,
+            watchdog or Watchdog(max_stalled_activations=10_000_000))
+
+    Simulator.run = watched_run
+    try:
+        return run_workload(Simulator, scripts)
+    finally:
+        Simulator.run = original_run
+
+
+class TestIntrospection:
+    def test_repr_counts_both_lanes(self):
+        sim = Simulator()
+
+        def p():
+            yield sim.timeout(0.0)
+            yield sim.timeout(5.0)
+
+        sim.process(p(), name="p")   # ready lane
+        sim.process(p(), name="q")   # ready lane
+        assert "pending=2" in repr(sim)
+
+    def test_stalled_suspects_sees_ready_lane(self):
+        sim = Simulator()
+
+        def p():
+            yield sim.timeout(0.0)
+
+        sim.process(p(), name="zed")
+        assert "zed" in sim._stalled_suspects()
+
+    def test_slots_hold(self):
+        """Event/Process carry no __dict__ anymore — attribute typos
+        now fail loudly instead of silently growing per-object dicts."""
+        sim = Simulator()
+        event = sim.event("e")
+        proc = sim.process((x for x in ()), name="p")
+        for obj in (event, proc):
+            with pytest.raises(AttributeError):
+                obj.no_such_attribute = 1
+            assert not hasattr(obj, "__dict__")
