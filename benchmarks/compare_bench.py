@@ -59,6 +59,9 @@ METRICS = {
     "BENCH_sweep.json": [
         Metric("warm_fraction", "lower"),
         Metric("speedup_parallel4", "higher", min_cpus=4),
+        # run-to-run ratio variance exceeds a relative band; gate the
+        # campaign path on its acceptance floor instead
+        Metric("speedup_campaign4", "floor", tol=2.0, min_cpus=4),
     ],
     "BENCH_obs.json": [
         Metric("disabled_overhead", "abs", tol=0.05),

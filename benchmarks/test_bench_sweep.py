@@ -3,19 +3,24 @@
 The ROADMAP north star asks for running experiments "as fast as the
 hardware allows".  This benchmark drives a 64-cell grid (2 generators x
 2 cost models x 4 deterministic heuristics x 4 seeds) through
-``repro.sweep`` three ways and records the wall-clock for each in
+``repro.sweep`` four ways and records the wall-clock for each in
 ``BENCH_sweep.json``:
 
 * **cold serial** — ``workers=1``, empty cache;
 * **cold parallel** — ``workers=4``, separate empty cache;
+* **cold campaign** — ``workers=4`` shards against an empty
+  :class:`~repro.campaign.store.CampaignStore` (the durable,
+  resumable execution path);
 * **warm** — ``workers=1``, the serial run's cache (every cell served
   from disk).
 
 Asserted: the warm run finishes in < 10% of the cold-serial time with
-zero recomputation (checked via metrics counters, not timing), and the
-serial/parallel tables are byte-identical.  The >= 2x parallel-speedup
-criterion is asserted only when the machine actually has >= 4 CPUs —
-on fewer cores the honest number is still recorded in the JSON.
+zero recomputation (checked via metrics counters, not timing), all
+four tables are byte-identical, and a re-run against the populated
+campaign store computes nothing.  The >= 2x speedup criteria (pool
+and campaign) are asserted only when the machine actually has >= 4
+CPUs — on fewer cores the honest numbers are still recorded in the
+JSON.
 """
 
 import json
@@ -23,6 +28,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.campaign import CampaignStore
 from repro.cosim.metrics import MetricsRegistry
 from repro.sweep import ResultCache, expand_grid, run_sweep
 
@@ -57,6 +63,17 @@ def test_sweep_serial_parallel_cached(benchmark, tmp_path):
     # determinism: worker count must not leak into the results
     assert parallel_table.to_json() == serial_table.to_json()
 
+    # campaign path: 4 shards against a durable SQLite store
+    campaign_store = CampaignStore(tmp_path / "campaign.sqlite")
+    campaign_table, campaign_s = _timed_sweep(configs, 4, campaign_store)
+    assert campaign_table.to_json() == serial_table.to_json()
+
+    # the populated store resumes with zero recomputation
+    resume_metrics = MetricsRegistry()
+    resumed, _ = _timed_sweep(configs, 4, campaign_store, resume_metrics)
+    assert resume_metrics.counter("sweep.cells.computed").value == 0
+    assert resumed.to_json() == serial_table.to_json()
+
     # warm run: everything served from the serial run's cache
     metrics = MetricsRegistry()
     warm_table, warm_s = benchmark.pedantic(
@@ -69,9 +86,15 @@ def test_sweep_serial_parallel_cached(benchmark, tmp_path):
     assert warm_s < 0.10 * serial_s
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    campaign_speedup = (serial_s / campaign_s if campaign_s > 0
+                        else float("inf"))
     cpus = os.cpu_count() or 1
     if cpus >= 4:
         assert speedup >= 2.0
+        assert campaign_speedup >= 2.0, (
+            f"4-shard campaign run only {campaign_speedup:.2f}x over "
+            f"serial on a {cpus}-CPU box (floor: 2x)"
+        )
 
     record = {
         "cells": len(configs),
@@ -79,6 +102,8 @@ def test_sweep_serial_parallel_cached(benchmark, tmp_path):
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
         "speedup_parallel4": round(speedup, 3),
+        "campaign_s": round(campaign_s, 4),
+        "speedup_campaign4": round(campaign_speedup, 3),
         "warm_s": round(warm_s, 4),
         "warm_fraction": round(warm_s / serial_s, 4),
     }

@@ -37,6 +37,12 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--cache", metavar="DIR",
                         help="reuse results across runs")
+    parser.add_argument("--store", metavar="FILE",
+                        help="SQLite campaign store (durable queue + "
+                             "results, resumable; excludes --cache)")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --store: narrate committed progress "
+                             "before running (resume is automatic)")
     parser.add_argument("--out", metavar="FILE",
                         help="write the dependability report as JSON")
     parser.add_argument("--smoke", action="store_true",
@@ -48,7 +54,19 @@ def main(argv=None) -> int:
 
     scenario = SCENARIOS[args.scenario]
     faults = sample_faults(scenario.targets, args.faults, seed=args.seed)
-    cache = ResultCache(args.cache) if args.cache else None
+    if args.store and args.cache:
+        raise SystemExit("--store and --cache are mutually exclusive")
+    if args.resume and not args.store:
+        raise SystemExit("--resume requires --store")
+    if args.store:
+        from repro.campaign import CampaignStore
+
+        cache = CampaignStore(args.store)
+        if args.resume:
+            print(f"resume: {len(cache)} cells already committed in "
+                  f"{args.store}")
+    else:
+        cache = ResultCache(args.cache) if args.cache else None
 
     print(f"campaign: scenario={args.scenario} faults={len(faults)} "
           f"seed={args.seed} workers={args.workers}")

@@ -11,10 +11,19 @@ inclusive ranges ("0-7" or "0-3,8,12-13").  Cells are cached under
 with a grown grid only computes the new cells, and a pure re-run
 computes nothing.
 
+With --store the sweep runs on the durable campaign service instead:
+cells are queued in a SQLite store, N shard processes claim/commit
+them in batches, and a run interrupted at any point (Ctrl-C, SIGKILL,
+power loss) resumes recomputing only uncommitted cells — with a final
+table byte-identical to an uninterrupted run.  --import-cache migrates
+an existing JSON --cache directory into the store.
+
 Run:  python examples/partition_sweep.py \\
           --generators layered,forkjoin --cost-models default,comm_heavy \\
           --heuristics greedy,kl,vulcan,cosyma --seeds 0-3 \\
           --workers 4 --cache .sweep-cache
+      python examples/partition_sweep.py \\
+          --seeds 0-31 --workers 4 --store sweep.sqlite --resume
 """
 
 import argparse
@@ -82,6 +91,17 @@ def main(argv=None) -> int:
                         help="worker processes (default 1 = in-process)")
     parser.add_argument("--cache", default=None, metavar="DIR",
                         help="result cache directory (default: no cache)")
+    parser.add_argument("--store", default=None, metavar="FILE",
+                        help="SQLite campaign store (durable job queue "
+                             "+ results; resumable after any "
+                             "interruption; excludes --cache)")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --store: narrate how much of the "
+                             "grid is already committed before running "
+                             "(resume itself is automatic)")
+    parser.add_argument("--import-cache", default=None, metavar="DIR",
+                        help="with --store: first import a JSON "
+                             "ResultCache directory into the store")
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="write the result table as canonical JSON")
     parser.add_argument("--differential", type=int, default=0,
@@ -102,12 +122,32 @@ def main(argv=None) -> int:
         deadline_factor=args.deadline_factor,
         area_budget_factor=args.budget_factor,
     )
-    cache = ResultCache(args.cache) if args.cache else None
+    if args.store and args.cache:
+        raise SystemExit("--store and --cache are mutually exclusive")
+    if (args.resume or args.import_cache) and not args.store:
+        raise SystemExit("--resume/--import-cache require --store")
+    if args.store:
+        from repro.campaign import CampaignStore
+
+        cache = CampaignStore(args.store)
+        if args.import_cache:
+            imported = cache.import_cache(ResultCache(args.import_cache))
+            if not args.quiet:
+                print(f"imported {imported} records from "
+                      f"{args.import_cache} into {args.store}")
+        if args.resume and not args.quiet:
+            done = sum(1 for c in grid if c.fingerprint in cache)
+            print(f"resume: {done}/{len(grid)} grid cells already "
+                  f"committed in {args.store}")
+    else:
+        cache = ResultCache(args.cache) if args.cache else None
     metrics = MetricsRegistry()
 
     if not args.quiet:
+        backing = (args.store and f"store {args.store}") or \
+            (args.cache and f"cache {args.cache}") or "off"
         print(f"sweep: {len(grid)} cells, workers={args.workers}, "
-              f"cache={'off' if cache is None else args.cache}")
+              f"results={backing}")
     table = run_sweep(grid, workers=args.workers, cache=cache,
                       metrics=metrics)
     if not args.quiet:

@@ -1,0 +1,54 @@
+"""Campaign-as-a-service: durable, sharded, resumable experiment runs.
+
+The substrate ROADMAP item 1 asks for, under both the sweep and fault
+engines:
+
+* :mod:`repro.campaign.store` — :class:`CampaignStore`, one SQLite
+  file holding a fingerprint-keyed result store (drop-in for
+  :class:`repro.sweep.cache.ResultCache`, same ``CACHE_VERSION``
+  semantics, plus a migration import from existing cache directories)
+  and a lease-stamped persistent job queue;
+* :mod:`repro.campaign.service` — :func:`run_store_jobs`, the
+  coordinator + N work-stealing shard processes that drain the queue
+  with batched claim/commit transactions, reclaim dead leases, and
+  make any interrupted campaign resumable with byte-identical final
+  tables;
+* :mod:`repro.campaign.runners` — the named payload→record runner
+  registry shards execute from.
+
+Quick tour::
+
+    from repro.campaign import CampaignStore
+    from repro.sweep import expand_grid, run_sweep
+
+    store = CampaignStore("campaign.sqlite")
+    grid = expand_grid(heuristics=("greedy", "kl"), seeds=range(32))
+    table = run_sweep(grid, workers=4, cache=store)   # kill it anytime;
+    table = run_sweep(grid, workers=4, cache=store)   # resumes, 0 recompute
+"""
+
+from repro.campaign.store import (
+    CampaignStore,
+    JOB_STATES,
+)
+from repro.campaign.service import (
+    CampaignCellError,
+    CampaignInterrupted,
+    run_store_jobs,
+)
+from repro.campaign.runners import (
+    RUNNERS,
+    get_runner,
+    register_runner,
+)
+
+__all__ = [
+    "CampaignStore",
+    "JOB_STATES",
+    "CampaignCellError",
+    "CampaignInterrupted",
+    "run_store_jobs",
+    "RUNNERS",
+    "get_runner",
+    "register_runner",
+]

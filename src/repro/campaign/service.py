@@ -1,0 +1,214 @@
+"""The campaign service: a coordinator plus N work-stealing shards.
+
+:func:`run_store_jobs` is the execution discipline both engines
+(:func:`repro.sweep.engine.run_sweep` and
+:func:`repro.fault.campaign.run_campaign`) delegate to when handed a
+:class:`~repro.campaign.store.CampaignStore` — the durable counterpart
+of :func:`~repro.sweep.engine.pool_map`:
+
+* the coordinator reclaims stale leases (instant resume after a
+  SIGKILL'd run), enqueues the still-missing cells, and spawns shard
+  processes;
+* each shard loops *claim batch → compute → commit batch* against the
+  store, so any interruption loses at most one uncommitted batch and a
+  restarted campaign recomputes only uncommitted cells;
+* shards steal work: a claim considers expired or dead-owner leases
+  runnable, so one slow or dead shard never strands its cells;
+* the coordinator streams completions back through ``on_done`` in
+  deterministic (fingerprint) batches — callers key results by
+  fingerprint, so table order never depends on completion order.
+
+Shards talk to the coordinator *only through the store*.  That is the
+point: the same protocol runs N processes on one box today and N boxes
+against one database file (or a socket-served store) later, and a
+coordinator crash is no worse than a worker crash — the queue is the
+one source of truth.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.campaign.runners import get_runner
+from repro.campaign.store import CampaignStore
+
+#: ``on_done(fingerprint, record, obs_or_none, in_worker_elapsed_s)``.
+OnDone = Callable[[str, Dict[str, Any], Optional[Dict[str, Any]], float],
+                  None]
+
+
+class CampaignInterrupted(RuntimeError):
+    """Every shard died while runnable jobs remained.
+
+    The committed cells are safe in the store — re-running the same
+    campaign against it resumes where this one stopped.
+    """
+
+
+class CampaignCellError(RuntimeError):
+    """One or more cells failed on every attempt.
+
+    ``failures`` maps fingerprint → last error text; completed cells
+    stay committed, so a fixed build re-runs only the failures.
+    """
+
+    def __init__(self, failures: Dict[str, str]) -> None:
+        first = next(iter(sorted(failures)))
+        super().__init__(
+            f"{len(failures)} campaign cell(s) failed on every "
+            f"attempt; first: {first} ({failures[first]}); completed "
+            f"cells remain committed in the store"
+        )
+        self.failures = dict(failures)
+
+
+def _shard_main(path, lease_s: float, max_attempts: int,
+                runner_name: str, batch: int, poll_s: float) -> None:
+    """One shard process: claim → compute → commit until drained."""
+    store = CampaignStore(path, lease_s=lease_s,
+                          max_attempts=max_attempts)
+    runner = get_runner(runner_name)
+    owner = f"pid:{os.getpid()}"
+    while True:
+        jobs = store.claim(owner, batch)
+        if not jobs:
+            if store.remaining_runnable() == 0:
+                return
+            # peers hold live leases; wait for expiry/reclaim to steal
+            time.sleep(poll_s)
+            continue
+        completed = []
+        for fingerprint, payload in jobs:
+            t0 = time.perf_counter()
+            try:
+                record, obs = runner(payload)
+            except Exception as exc:  # noqa: BLE001 — cell isolation
+                store.fail(owner, fingerprint,
+                           f"{type(exc).__name__}: {exc}")
+                continue
+            completed.append(
+                (fingerprint, record, obs, time.perf_counter() - t0)
+            )
+        store.commit(owner, completed)
+
+
+def run_store_jobs(
+    store: CampaignStore,
+    runner_name: str,
+    jobs: Iterable[Tuple[str, Dict[str, Any]]],
+    workers: int,
+    on_done: OnDone,
+    batch: int = 2,
+    poll_s: float = 0.02,
+    metrics=None,
+    span_tracer=None,
+) -> None:
+    """Run ``jobs`` through the store's queue on ``workers`` shards.
+
+    ``workers == 1`` runs the shard loop in-process (still durable and
+    resumable — every batch commits); more workers spawn shard
+    processes and the coordinator streams completions, reclaims stale
+    leases, and emits queue-depth telemetry.  Raises
+    :class:`CampaignCellError` when cells exhausted their attempts and
+    :class:`CampaignInterrupted` when all shards died early.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    reclaimed = store.reclaim_stale()
+    if reclaimed and metrics is not None:
+        metrics.counter("campaign.leases.reclaimed").inc(reclaimed)
+    jobs = list(jobs)
+    remaining = store.enqueue(jobs)
+    if metrics is not None:
+        metrics.counter("campaign.jobs.enqueued").inc(len(jobs))
+
+    #: only this run's jobs flow back through on_done — a resumed
+    #: store also holds done-but-never-drained rows from an earlier,
+    #: interrupted coordinator, and those are the caller's cache hits,
+    #: not completions it asked this run to compute
+    wanted = {fingerprint for fingerprint, _ in jobs}
+    delivered = set()
+
+    def deliver(fingerprint, record, obs, elapsed) -> None:
+        if fingerprint not in wanted or fingerprint in delivered:
+            return
+        delivered.add(fingerprint)
+        if metrics is not None:
+            metrics.counter("campaign.jobs.committed").inc()
+        on_done(fingerprint, record, obs, elapsed)
+
+    def drain() -> None:
+        for completion in store.drain_completed():
+            deliver(*completion)
+
+    def depth_event() -> None:
+        if span_tracer is not None:
+            counts = store.queue_counts()
+            span_tracer.event("queue.depth", **counts)
+
+    depth_event()
+    if workers == 1 or remaining <= 1:
+        args = (store.path, store.lease_s, store.max_attempts,
+                runner_name, batch, poll_s)
+        _shard_main(*args)
+    else:
+        ctx = multiprocessing.get_context()
+        shards = [
+            ctx.Process(
+                target=_shard_main,
+                args=(store.path, store.lease_s, store.max_attempts,
+                      runner_name, batch, poll_s),
+                name=f"campaign-shard-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for shard in shards:
+            shard.start()
+        try:
+            while True:
+                drain()
+                depth_event()
+                counts = store.queue_counts()
+                undone = sum(
+                    n for state, n in counts.items() if state != "done"
+                )
+                if undone == 0:
+                    break
+                stale = store.reclaim_stale()
+                if stale and metrics is not None:
+                    metrics.counter(
+                        "campaign.leases.reclaimed").inc(stale)
+                if not any(s.is_alive() for s in shards):
+                    if store.remaining_runnable() > 0:
+                        raise CampaignInterrupted(
+                            f"all {workers} shards exited with "
+                            f"{store.remaining_runnable()} runnable "
+                            f"job(s) left in {store.path}; re-run to "
+                            f"resume from the committed cells"
+                        )
+                    break  # only permanently-failed jobs remain
+                time.sleep(poll_s)
+        finally:
+            for shard in shards:
+                shard.join(timeout=5.0)
+                if shard.is_alive():
+                    shard.terminate()
+    drain()
+    # belt-and-braces: anything committed but missed by the drain
+    # cursor (e.g. drained by a concurrent coordinator) is read back
+    # from the results table so every wanted job is delivered
+    for fingerprint in sorted(wanted - delivered):
+        record = store.get(fingerprint)
+        if record is not None:
+            deliver(fingerprint, record, None, 0.0)
+    depth_event()
+
+    failures = dict(store.failed_jobs())
+    if failures:
+        if metrics is not None:
+            metrics.counter("campaign.cells.failed").inc(len(failures))
+        raise CampaignCellError(failures)

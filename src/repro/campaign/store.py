@@ -1,0 +1,459 @@
+"""The SQLite-backed campaign store: results + a persistent job queue.
+
+One database file holds two tables that together make a campaign
+durable and resumable:
+
+``results``
+    fingerprint-addressed records, drop-in compatible with
+    :class:`repro.sweep.cache.ResultCache` (same SHA-256 fingerprint
+    keys, same :data:`~repro.sweep.cache.CACHE_VERSION` semantics —
+    an entry written by a *newer* schema raises
+    :class:`~repro.sweep.cache.CacheVersionError`, an older one reads
+    as a miss and is recomputed over);
+
+``jobs``
+    the work queue: each row is one cell awaiting computation, with a
+    lease stamp (owner + wall-clock deadline) while a worker holds it.
+    Workers claim batches atomically (``BEGIN IMMEDIATE``), commit the
+    batch's results and the ``done`` transitions in **one
+    transaction**, so a SIGKILL at any instant loses at most the
+    uncommitted batch — never a committed cell, and never leaves a
+    half-written record.  Leases whose owner pid is dead (same-box
+    workers) or whose deadline passed are reclaimed, which is what
+    makes shards work-stealing: any worker can pick up a dead
+    neighbour's cells.
+
+The store opens its connection lazily *per process* — a store object
+that crosses a ``fork`` (pool workers, service shards) transparently
+reopens in the child instead of sharing the parent's connection, which
+SQLite forbids.
+
+Durability tuning: WAL journal (readers never block the writer),
+``synchronous=NORMAL`` (a power loss can lose the last transactions
+but never corrupt the database — the engine recomputes missing cells,
+so this is the right trade), and batched commits on the write paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.sweep.cache import CACHE_VERSION, CacheVersionError, ResultCache
+
+#: A claimed unit of work: (fingerprint, payload dict).
+ClaimedJob = Tuple[str, Dict[str, Any]]
+
+#: One completed cell heading for :meth:`CampaignStore.commit`:
+#: (fingerprint, record, obs payload or None, in-worker elapsed seconds).
+CompletedJob = Tuple[str, Dict[str, Any], Optional[Dict[str, Any]], float]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT PRIMARY KEY,
+    version     INTEGER NOT NULL,
+    record      TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    fingerprint    TEXT PRIMARY KEY,
+    payload        TEXT NOT NULL,
+    state          TEXT NOT NULL DEFAULT 'pending',
+    lease_owner    TEXT,
+    lease_deadline REAL,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    error          TEXT,
+    elapsed_s      REAL,
+    obs            TEXT,
+    drained        INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state);
+"""
+
+#: Job states.  ``pending`` → ``leased`` → ``done`` is the happy path;
+#: a worker that raises marks the job ``failed`` (retryable until
+#: ``max_attempts`` claims have been burned).
+JOB_STATES = ("pending", "leased", "done", "failed")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is a process with this pid running on this box?"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    return True
+
+
+class CampaignStore:
+    """Durable result store + job queue for sweep/fault campaigns.
+
+    Implements the same ``get``/``put``/``fingerprints``/``clear``
+    surface as :class:`~repro.sweep.cache.ResultCache`, so anything
+    that takes a ``cache=`` accepts a store; the queue methods on top
+    are what the campaign service schedules with.
+    """
+
+    def __init__(self, path, lease_s: float = 20.0,
+                 max_attempts: int = 3) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.lease_s = float(lease_s)
+        self.max_attempts = int(max_attempts)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+        self.conn  # create the schema eagerly
+
+    # ------------------------------------------------------------------
+    # connection management (fork-safe)
+    # ------------------------------------------------------------------
+    @property
+    def conn(self) -> sqlite3.Connection:
+        """This process's connection; reopened after a ``fork``."""
+        pid = os.getpid()
+        if self._conn is None or self._conn_pid != pid:
+            conn = sqlite3.connect(self.path, timeout=30.0,
+                                   isolation_level=None)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.executescript(_SCHEMA)
+            self._conn = conn
+            self._conn_pid = pid
+        return self._conn
+
+    def close(self) -> None:
+        """Close this process's connection (reopens on next use)."""
+        if self._conn is not None and self._conn_pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._conn_pid = None
+
+    # ------------------------------------------------------------------
+    # result store (ResultCache-compatible surface)
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored record, or None on miss/stale version.
+
+        Raises :class:`~repro.sweep.cache.CacheVersionError` for rows
+        written by a newer schema — same contract as the JSON cache.
+        """
+        row = self.conn.execute(
+            "SELECT version, record FROM results WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        version, record = row
+        if version > CACHE_VERSION:
+            raise CacheVersionError(
+                f"store entry {fingerprint} in {self.path} was written "
+                f"by schema version {version}, but this build only "
+                f"supports up to {CACHE_VERSION}; use a fresh store or "
+                f"upgrade the tool"
+            )
+        if version != CACHE_VERSION:
+            return None
+        try:
+            doc = json.loads(record)
+        except ValueError:
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def put(self, fingerprint: str, record: Dict[str, Any]) -> None:
+        """Store one record (its own transaction)."""
+        self.put_many([(fingerprint, record)])
+
+    def put_many(
+        self, items: Iterable[Tuple[str, Dict[str, Any]]]
+    ) -> int:
+        """Store many records in one batched transaction."""
+        rows = [
+            (fp, CACHE_VERSION, json.dumps(record, sort_keys=True))
+            for fp, record in items
+        ]
+        if not rows:
+            return 0
+        with self._txn():
+            self.conn.executemany(
+                "INSERT OR REPLACE INTO results "
+                "(fingerprint, version, record) VALUES (?, ?, ?)",
+                rows,
+            )
+        return len(rows)
+
+    def fingerprints(self) -> List[str]:
+        """Fingerprints of every stored result, sorted."""
+        return [
+            row[0] for row in self.conn.execute(
+                "SELECT fingerprint FROM results ORDER BY fingerprint"
+            )
+        ]
+
+    def clear(self) -> int:
+        """Drop every result *and* the whole queue; returns results
+        removed."""
+        with self._txn():
+            removed = self.conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()[0]
+            self.conn.execute("DELETE FROM results")
+            self.conn.execute("DELETE FROM jobs")
+        return removed
+
+    def __len__(self) -> int:
+        return self.conn.execute(
+            "SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.conn.execute(
+            "SELECT 1 FROM results WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone() is not None
+
+    def __repr__(self) -> str:
+        counts = self.queue_counts()
+        return (
+            f"CampaignStore({str(self.path)!r}, {len(self)} results, "
+            f"queue {counts})"
+        )
+
+    # ------------------------------------------------------------------
+    # migration
+    # ------------------------------------------------------------------
+    def import_cache(self, cache: ResultCache) -> int:
+        """Import every readable entry of a JSON :class:`ResultCache`.
+
+        The upgrade path from the flat one-file-per-fingerprint layout:
+        unreadable/stale entries are skipped (they were misses there
+        too); a newer-versioned entry raises, exactly as reading it
+        from the cache would.  Returns how many records were imported.
+        """
+        items = []
+        for fingerprint in cache.fingerprints():
+            record = cache.get(fingerprint)
+            if record is not None:
+                items.append((fingerprint, record))
+        return self.put_many(items)
+
+    # ------------------------------------------------------------------
+    # job queue
+    # ------------------------------------------------------------------
+    def enqueue(self, jobs: Iterable[ClaimedJob]) -> int:
+        """Add jobs to the queue; returns how many are left to run.
+
+        Idempotent on resume: a fingerprint already queued keeps its
+        row (and its state), and any job whose result is already
+        committed is marked ``done`` immediately so it is never
+        recomputed.
+        """
+        rows = [(fp, json.dumps(payload, sort_keys=True))
+                for fp, payload in jobs]
+        with self._txn():
+            if rows:
+                self.conn.executemany(
+                    "INSERT OR IGNORE INTO jobs (fingerprint, payload) "
+                    "VALUES (?, ?)",
+                    rows,
+                )
+            self.conn.execute(
+                "UPDATE jobs SET state = 'done', lease_owner = NULL "
+                "WHERE state != 'done' AND fingerprint IN "
+                "(SELECT fingerprint FROM results)"
+            )
+            remaining = self.conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state != 'done'"
+            ).fetchone()[0]
+        return remaining
+
+    def claim(self, owner: str, limit: int) -> List[ClaimedJob]:
+        """Atomically lease up to ``limit`` runnable jobs to ``owner``.
+
+        Runnable: ``pending``, ``failed`` with attempts left, or
+        ``leased`` past its deadline (work stealing — the previous
+        owner crashed or stalled).  Claimed rows are stamped with the
+        owner and a fresh deadline; the claim burns one attempt.
+        """
+        now = time.time()
+        with self._txn():
+            rows = self.conn.execute(
+                "SELECT fingerprint, payload FROM jobs WHERE "
+                "(state = 'pending'"
+                " OR (state = 'failed' AND attempts < ?)"
+                " OR (state = 'leased' AND lease_deadline < ?)) "
+                "ORDER BY fingerprint LIMIT ?",
+                (self.max_attempts, now, limit),
+            ).fetchall()
+            if rows:
+                self.conn.executemany(
+                    "UPDATE jobs SET state = 'leased', lease_owner = ?, "
+                    "lease_deadline = ?, attempts = attempts + 1 "
+                    "WHERE fingerprint = ?",
+                    [(owner, now + self.lease_s, fp) for fp, _ in rows],
+                )
+        return [(fp, json.loads(payload)) for fp, payload in rows]
+
+    def commit(self, owner: str, completed: List[CompletedJob]) -> None:
+        """Commit a batch: results plus ``done`` transitions, one txn.
+
+        This is the durability point — a worker killed before this
+        call leaves its lease to be reclaimed; killed after, every
+        cell in the batch is permanently recorded.
+        """
+        if not completed:
+            return
+        result_rows = [
+            (fp, CACHE_VERSION, json.dumps(record, sort_keys=True))
+            for fp, record, _, _ in completed
+        ]
+        job_rows = [
+            (json.dumps(obs) if obs is not None else None, elapsed, fp)
+            for fp, _, obs, elapsed in completed
+        ]
+        with self._txn():
+            self.conn.executemany(
+                "INSERT OR REPLACE INTO results "
+                "(fingerprint, version, record) VALUES (?, ?, ?)",
+                result_rows,
+            )
+            self.conn.executemany(
+                "UPDATE jobs SET state = 'done', lease_owner = NULL, "
+                "lease_deadline = NULL, error = NULL, obs = ?, "
+                "elapsed_s = ?, drained = 0 WHERE fingerprint = ?",
+                job_rows,
+            )
+
+    def fail(self, owner: str, fingerprint: str, error: str) -> None:
+        """Record a cell failure (retryable until attempts run out)."""
+        with self._txn():
+            self.conn.execute(
+                "UPDATE jobs SET state = 'failed', lease_owner = NULL, "
+                "lease_deadline = NULL, error = ? WHERE fingerprint = ?",
+                (error, fingerprint),
+            )
+
+    def reclaim_stale(self) -> int:
+        """Return stale leases to the pool; how many were reclaimed.
+
+        A lease is stale when its deadline passed *or* its owner was a
+        ``pid:<n>`` on this box that no longer runs — the latter makes
+        resume-after-SIGKILL instant instead of waiting out the
+        deadline.
+        """
+        now = time.time()
+        with self._txn():
+            leased = self.conn.execute(
+                "SELECT fingerprint, lease_owner, lease_deadline "
+                "FROM jobs WHERE state = 'leased'"
+            ).fetchall()
+            stale = []
+            for fp, lease_owner, deadline in leased:
+                if deadline is not None and deadline < now:
+                    stale.append(fp)
+                    continue
+                if lease_owner and lease_owner.startswith("pid:"):
+                    try:
+                        pid = int(lease_owner[4:])
+                    except ValueError:
+                        continue
+                    if not _pid_alive(pid):
+                        stale.append(fp)
+            if stale:
+                self.conn.executemany(
+                    "UPDATE jobs SET state = 'pending', "
+                    "lease_owner = NULL, lease_deadline = NULL "
+                    "WHERE fingerprint = ? AND state = 'leased'",
+                    [(fp,) for fp in stale],
+                )
+        return len(stale)
+
+    def drain_completed(
+        self,
+    ) -> List[Tuple[str, Dict[str, Any], Optional[Dict[str, Any]], float]]:
+        """Completions not yet reported: (fp, record, obs, elapsed_s).
+
+        Marks the returned jobs drained, so each completion is
+        delivered to the coordinator exactly once.
+        """
+        with self._txn():
+            rows = self.conn.execute(
+                "SELECT j.fingerprint, r.record, j.obs, j.elapsed_s "
+                "FROM jobs j JOIN results r USING (fingerprint) "
+                "WHERE j.state = 'done' AND j.drained = 0 "
+                "ORDER BY j.fingerprint"
+            ).fetchall()
+            if rows:
+                self.conn.executemany(
+                    "UPDATE jobs SET drained = 1 WHERE fingerprint = ?",
+                    [(fp,) for fp, _, _, _ in rows],
+                )
+        out = []
+        for fp, record, obs, elapsed in rows:
+            out.append((
+                fp,
+                json.loads(record),
+                json.loads(obs) if obs else None,
+                elapsed if elapsed is not None else 0.0,
+            ))
+        return out
+
+    def queue_counts(self) -> Dict[str, int]:
+        """Row count per job state (every state present, zero-filled)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for state, n in self.conn.execute(
+            "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+        ):
+            counts[state] = n
+        return counts
+
+    def remaining_runnable(self) -> int:
+        """Jobs a worker could still make progress on: pending, leased
+        (maybe by a peer that will die), or failed with attempts left."""
+        return self.conn.execute(
+            "SELECT COUNT(*) FROM jobs WHERE state IN "
+            "('pending', 'leased') "
+            "OR (state = 'failed' AND attempts < ?)",
+            (self.max_attempts,),
+        ).fetchone()[0]
+
+    def failed_jobs(self) -> List[Tuple[str, str]]:
+        """Permanently failed jobs: (fingerprint, error), sorted."""
+        return [
+            (fp, error or "")
+            for fp, error in self.conn.execute(
+                "SELECT fingerprint, error FROM jobs "
+                "WHERE state = 'failed' AND attempts >= ? "
+                "ORDER BY fingerprint",
+                (self.max_attempts,),
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    def _txn(self):
+        return _Transaction(self.conn)
+
+
+class _Transaction:
+    """``BEGIN IMMEDIATE`` … ``COMMIT``/``ROLLBACK`` as a context.
+
+    ``BEGIN IMMEDIATE`` takes the write lock up front, so two
+    processes claiming from the same queue serialize instead of both
+    reading the same pending rows and double-leasing them.
+    """
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self.conn = conn
+
+    def __enter__(self) -> sqlite3.Connection:
+        self.conn.execute("BEGIN IMMEDIATE")
+        return self.conn
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.conn.execute("COMMIT")
+        else:
+            self.conn.execute("ROLLBACK")

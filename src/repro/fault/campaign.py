@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -40,7 +41,7 @@ from repro.fault.spec import FAULT_VERSION, OUTCOMES, FaultSpec
 from repro.cosim.metrics import MetricsRegistry
 from repro.obs.spans import SpanTracer
 from repro.sweep.cache import ResultCache
-from repro.sweep.engine import pool_map
+from repro.sweep.engine import CellTiming, pool_map
 
 #: A campaign job: (scenario name, fault dict or None for golden).
 Job = Tuple[str, Optional[Dict[str, Any]]]
@@ -294,16 +295,23 @@ def run_campaign(
     golden_fp = want(None)
     fault_fps = [want(fault) for fault in faults]
 
-    by_job_fp = {id(job): fp for fp, job in pending}
+    #: a CampaignStore (duck-typed on its queue surface) switches the
+    #: fan-out to the durable campaign service — resumable after any
+    #: interruption, results committed by the shards themselves.
+    store_mode = cache is not None and hasattr(cache, "claim")
 
-    def on_done(job: Job, out: Any, elapsed: float) -> None:
-        record, obs = out if observed else (out, None)
-        fingerprint = by_job_fp[id(job)]
+    def finish(fingerprint: str, record: Dict[str, Any],
+               timing: CellTiming,
+               obs: Optional[Dict[str, Any]]) -> None:
         records[fingerprint] = record
         stats.computed += 1
         metrics.counter("fault.cells.computed").inc()
-        metrics.histogram("fault.cell.elapsed_s").observe(elapsed)
-        if cache is not None:
+        metrics.histogram("fault.cell.elapsed_s").observe(
+            timing.elapsed_s)
+        if timing.wait_s is not None:
+            metrics.histogram("fault.cell.wait_s").observe(
+                timing.wait_s)
+        if cache is not None and not store_mode:
             cache.put(fingerprint, record)
         if obs is not None:
             metrics.merge(obs["metrics"])
@@ -311,8 +319,42 @@ def run_campaign(
                 obs["spans"], lane=f"fault worker {obs['pid']}"
             )
 
-    cell_fn = run_fault_cell_observed if observed else run_fault_cell
-    pool_map(cell_fn, [job for _, job in pending], workers, on_done)
+    try:
+        if store_mode:
+            from repro.campaign.service import run_store_jobs
+
+            payloads = [
+                (fp, {"scenario": scenario_name, "fault": fault_dict})
+                for fp, (scenario_name, fault_dict) in pending
+            ]
+
+            def on_committed(fingerprint: str, record: Dict[str, Any],
+                             obs: Optional[Dict[str, Any]],
+                             elapsed_s: float) -> None:
+                finish(fingerprint, record, CellTiming(elapsed_s), obs)
+
+            runner = "fault_observed" if observed else "fault"
+            run_store_jobs(cache, runner, payloads, workers,
+                           on_committed, metrics=metrics,
+                           span_tracer=span_tracer)
+        else:
+            by_job_fp = {id(job): fp for fp, job in pending}
+
+            def on_done(job: Job, out: Any,
+                        timing: CellTiming) -> None:
+                record, obs = out if observed else (out, None)
+                finish(by_job_fp[id(job)], record, timing, obs)
+
+            cell_fn = (run_fault_cell_observed if observed
+                       else run_fault_cell)
+            pool_map(cell_fn, [job for _, job in pending], workers,
+                     on_done)
+    except BaseException:
+        # never leave the campaign span open across a failed fan-out
+        if campaign_span is not None:
+            campaign_span.__exit__(*sys.exc_info())
+            campaign_span = None
+        raise
 
     golden = records[golden_fp]
     if golden.get("error") or not golden.get("completed") \

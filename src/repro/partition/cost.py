@@ -92,7 +92,11 @@ def cost_terms(
         )
 
     # 3. modifiability: likely-to-change functionality frozen in silicon
-    modifiability = sum(graph.task(n).modifiability for n in hw)
+    # (summed in sorted order: float addition is non-associative, and
+    # set iteration order varies with PYTHONHASHSEED — a hash-order sum
+    # would differ by an ULP between interpreters, breaking the
+    # byte-identical-resume guarantee of the campaign store)
+    modifiability = sum(graph.task(n).modifiability for n in sorted(hw))
 
     # 4. nature of computation: medium mismatch
     nature = 0.0

@@ -43,6 +43,9 @@ from repro.sweep.cache import (
 )
 from repro.sweep.table import SweepResult
 from repro.sweep.engine import (
+    CellTiming,
+    PoolJobError,
+    SweepCellError,
     SweepStats,
     pool_map,
     run_cell,
@@ -67,6 +70,9 @@ __all__ = [
     "CacheVersionError",
     "ResultCache",
     "SweepResult",
+    "CellTiming",
+    "PoolJobError",
+    "SweepCellError",
     "SweepStats",
     "pool_map",
     "run_cell",

@@ -12,7 +12,11 @@ authoritative (and present the user an inexplicably empty/recomputed
 table), so that raises :class:`CacheVersionError` instead.
 
 Writes are atomic (temp file + ``os.replace``) so parallel sweeps
-sharing a cache directory never expose half-written entries.
+sharing a cache directory never expose half-written entries.  A writer
+killed between creating its temp file and the ``os.replace`` used to
+orphan ``.<fingerprint>.json.<pid>.tmp`` litter forever; opening a
+cache (and :meth:`ResultCache.clear`) now sweeps temp files whose
+writing process is gone, while live writers' files are left alone.
 """
 
 from __future__ import annotations
@@ -24,6 +28,17 @@ from typing import Any, Dict, List, Optional
 
 #: Bump to invalidate every existing cache entry (record schema change).
 CACHE_VERSION = 1
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is a process with this pid running on this box?"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    return True
 
 
 class CacheVersionError(RuntimeError):
@@ -42,6 +57,7 @@ class ResultCache:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.sweep_stale_tmp()
 
     def path_for(self, fingerprint: str) -> Path:
         """Where the record for ``fingerprint`` lives (or would live)."""
@@ -94,10 +110,35 @@ class ResultCache:
         return sorted(p.stem for p in self.root.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Also removes *all* temp files, live writers' included — clear
+        means the directory is being reset wholesale.
+        """
         removed = 0
         for path in self.root.glob("*.json"):
             path.unlink()
+            removed += 1
+        for path in self.root.glob(".*.tmp"):
+            path.unlink(missing_ok=True)
+        return removed
+
+    def sweep_stale_tmp(self) -> int:
+        """Remove temp files orphaned by crashed writers.
+
+        The temp name embeds the writer's pid
+        (``.<fingerprint>.json.<pid>.tmp``); a file whose pid no
+        longer runs on this box can never be ``os.replace``d into
+        place, so it is litter.  Files of live pids are in-flight
+        writes and are left untouched.  Returns how many were removed.
+        """
+        removed = 0
+        for path in self.root.glob(".*.tmp"):
+            parts = path.name.split(".")
+            pid = parts[-2] if len(parts) >= 3 else ""
+            if pid.isdigit() and _pid_alive(int(pid)):
+                continue
+            path.unlink(missing_ok=True)
             removed += 1
         return removed
 

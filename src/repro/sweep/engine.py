@@ -31,8 +31,10 @@ observability payload travels next to the rows, never inside them.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import os
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -152,11 +154,55 @@ def run_cell_observed(
     return record, obs
 
 
+@dataclass(frozen=True)
+class CellTiming:
+    """Where one job's wall-clock went.
+
+    ``elapsed_s`` is measured *inside* the worker, around ``fn(job)``
+    alone; ``wait_s`` is the queue wait between submission and the
+    worker picking the job up.  The old single number started the
+    clock at submission, so "cell time" silently inflated with worker
+    count — a 4-worker sweep looked like it had 4x slower cells.
+    ``wait_s`` is ``None`` when the execution path has no submission
+    queue to measure (the campaign store's durable queue, for one).
+    """
+
+    elapsed_s: float
+    wait_s: Optional[float] = None
+
+
+class PoolJobError(RuntimeError):
+    """``fn(job)`` raised; carries which job so callers can name it.
+
+    Completions that arrived before the failure were already delivered
+    through ``on_done`` — nothing finished is lost.
+    """
+
+    def __init__(self, job: Any, cause: BaseException) -> None:
+        super().__init__(
+            f"pool job {job!r} failed: {type(cause).__name__}: {cause}"
+        )
+        self.job = job
+
+
+def _timed_call(fn: Callable[[Any], Any], submit_pc: float, job: Any):
+    """Worker-side wrapper: run the job and clock it *here*.
+
+    Returns ``(result, wait_s, elapsed_s)``.  ``perf_counter`` is
+    system-wide on Linux (CLOCK_MONOTONIC), the same property the span
+    tracer already relies on, so ``start - submit_pc`` measured across
+    the process boundary is a real queue wait.
+    """
+    start = time.perf_counter()
+    result = fn(job)
+    return result, start - submit_pc, time.perf_counter() - start
+
+
 def pool_map(
     fn: Callable[[Any], Any],
     jobs: List[Any],
     workers: int,
-    on_done: Callable[[Any, Any, float], None],
+    on_done: Callable[[Any, Any, CellTiming], None],
 ) -> None:
     """Run ``fn(job)`` for every job and report each completion.
 
@@ -164,34 +210,85 @@ def pool_map(
     campaign runners (the fault-injection subsystem first among them)
     reuse the identical execution discipline: ``workers == 1`` (or a
     single job) runs in-process with no pool; more workers fan jobs
-    over a ``ProcessPoolExecutor``.  ``on_done(job, result, elapsed_s)``
+    over a ``ProcessPoolExecutor``.  ``on_done(job, result, timing)``
     fires in *completion* order — callers that need deterministic
     output must key results by job identity, never by arrival order.
     ``fn`` must be picklable (a top-level function or a
     ``functools.partial`` of one).
+
+    A failing job raises :class:`PoolJobError` naming the job — after
+    every completion that beat it to the finish line has been
+    delivered, and with the remaining submissions cancelled.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if workers == 1 or len(jobs) <= 1:
         for job in jobs:
             t0 = time.perf_counter()
-            result = fn(job)
-            on_done(job, result, time.perf_counter() - t0)
+            try:
+                result = fn(job)
+            except Exception as exc:
+                raise PoolJobError(job, exc) from exc
+            on_done(job, result,
+                    CellTiming(time.perf_counter() - t0, 0.0))
         return
     with ProcessPoolExecutor(max_workers=workers) as pool:
         submitted = {
-            pool.submit(fn, job): (job, time.perf_counter())
+            pool.submit(_timed_call, fn, time.perf_counter(), job): job
             for job in jobs
         }
         outstanding = set(submitted)
-        while outstanding:
-            done, outstanding = wait(
-                outstanding, return_when=FIRST_COMPLETED
-            )
-            for future in done:
-                job, t0 = submitted[future]
-                on_done(job, future.result(),
-                        time.perf_counter() - t0)
+        try:
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                failed = None
+                for future in done:
+                    job = submitted[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        # deliver this round's successes first; then
+                        # fail on one deterministic representative
+                        if failed is None:
+                            failed = (job, exc)
+                        continue
+                    result, wait_s, elapsed_s = future.result()
+                    on_done(job, result, CellTiming(elapsed_s, wait_s))
+                if failed is not None:
+                    job, exc = failed
+                    raise PoolJobError(job, exc) from exc
+        except PoolJobError:
+            for future in outstanding:
+                future.cancel()
+            raise
+
+
+class SweepCellError(RuntimeError):
+    """One sweep cell failed; names the cell and keeps what finished.
+
+    ``fingerprint``/``heuristic`` identify the failing cell (the first
+    thing a bug report needs); ``completed`` maps fingerprint → record
+    for every cell that finished before the failure — those were also
+    written to the cache/store when one was attached, so a re-run
+    recomputes only the failed cell onward.
+    """
+
+    def __init__(
+        self,
+        fingerprint: str,
+        heuristic: str,
+        completed: Dict[str, Dict[str, Any]],
+        cause: BaseException,
+    ) -> None:
+        super().__init__(
+            f"sweep cell {fingerprint} (heuristic={heuristic!r}) "
+            f"failed: {type(cause).__name__}: {cause}; "
+            f"{len(completed)} completed row(s) preserved"
+        )
+        self.fingerprint = fingerprint
+        self.heuristic = heuristic
+        self.completed = completed
 
 
 @dataclass
@@ -282,39 +379,94 @@ def run_sweep(
             pending.append(config)
             metrics.counter("sweep.cache.misses").inc()
 
+    #: a CampaignStore (duck-typed on its queue surface) switches the
+    #: fan-out from the in-memory pool to the durable, resumable
+    #: campaign service — the store commits results itself.
+    store_mode = cache is not None and hasattr(cache, "claim")
+
     def finish(config: SweepConfig, record: Dict[str, Any],
-               cell_elapsed: float,
+               timing: CellTiming,
                obs: Optional[Dict[str, Any]] = None) -> None:
         rows[config.fingerprint] = record
         stats.computed += 1
         metrics.counter("sweep.cells.computed").inc()
-        metrics.histogram("sweep.cell.elapsed_s").observe(cell_elapsed)
-        if cache is not None:
+        metrics.histogram("sweep.cell.elapsed_s").observe(
+            timing.elapsed_s)
+        if timing.wait_s is not None:
+            metrics.histogram("sweep.cell.wait_s").observe(
+                timing.wait_s)
+        if cache is not None and not store_mode:
             cache.put(config.fingerprint, record)
         if tracer is not None:
             tracer.emit(SWEEP_CELL, config.fingerprint, time=0.0,
                         cached=False, heuristic=config.heuristic,
-                        elapsed_s=cell_elapsed)
+                        elapsed_s=timing.elapsed_s)
         if obs is not None:
             metrics.merge(obs["metrics"])
             if span_tracer is not None:
+                lane = ("campaign shard" if store_mode
+                        else "sweep worker")
                 span_tracer.merge_snapshot(
-                    obs["spans"], lane=f"sweep worker {obs['pid']}"
+                    obs["spans"], lane=f"{lane} {obs['pid']}"
                 )
             if probe is not None:
                 probe.extend_from_dicts(obs["probe"])
 
-    cell_fn = run_cell_observed if observed else run_cell
+    by_fingerprint = {c.fingerprint: c for c in pending}
+    failure: Optional[Tuple[SweepConfig, BaseException]] = None
+    try:
+        if store_mode:
+            from repro.campaign.service import (
+                CampaignCellError, run_store_jobs,
+            )
 
-    def on_done(config: SweepConfig, out: Any, elapsed: float) -> None:
-        record, obs = out if observed else (out, None)
-        finish(config, record, elapsed, obs)
+            weights_dict = (dataclasses.asdict(weights)
+                            if weights is not None else None)
+            payloads = [
+                (c.fingerprint,
+                 {"config": c.to_dict(), "weights": weights_dict})
+                for c in pending
+            ]
 
-    pool_map(functools.partial(cell_fn, weights=weights),
-             pending, workers, on_done)
+            def on_committed(fingerprint: str, record: Dict[str, Any],
+                             obs: Optional[Dict[str, Any]],
+                             elapsed_s: float) -> None:
+                finish(by_fingerprint[fingerprint], record,
+                       CellTiming(elapsed_s), obs)
 
-    if sweep_span is not None:
-        sweep_span.__exit__(None, None, None)
+            runner = "sweep_observed" if observed else "sweep"
+            try:
+                run_store_jobs(cache, runner, payloads, workers,
+                               on_committed, metrics=metrics,
+                               span_tracer=span_tracer)
+            except CampaignCellError as exc:
+                fingerprint = next(iter(sorted(exc.failures)))
+                failure = (by_fingerprint[fingerprint], exc)
+        else:
+            cell_fn = run_cell_observed if observed else run_cell
+
+            def on_done(config: SweepConfig, out: Any,
+                        timing: CellTiming) -> None:
+                record, obs = out if observed else (out, None)
+                finish(config, record, timing, obs)
+
+            try:
+                pool_map(functools.partial(cell_fn, weights=weights),
+                         pending, workers, on_done)
+            except PoolJobError as exc:
+                failure = (exc.job, exc.__cause__ or exc)
+        if failure is not None:
+            config, cause = failure
+            raise SweepCellError(
+                config.fingerprint, config.heuristic,
+                {fp: r for fp, r in rows.items() if r}, cause,
+            ) from cause
+    finally:
+        # the fan-out must never leave the sweep span open or the
+        # reserved {} placeholder rows masquerading as results
+        if sweep_span is not None:
+            sweep_span.__exit__(*sys.exc_info())
+
     stats.elapsed_s = time.perf_counter() - t0
     table = SweepResult([rows[c.fingerprint] for c in configs])
     table.stats = stats

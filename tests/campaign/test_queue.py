@@ -1,0 +1,180 @@
+"""Tests for the job queue: leases, work stealing, reclaim, drain."""
+
+import multiprocessing
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import CampaignStore
+
+JOBS = [(f"{i}" * 64, {"cell": i}) for i in range(6)]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CampaignStore(tmp_path / "store.sqlite")
+
+
+class TestEnqueue:
+    def test_enqueue_counts_remaining(self, store):
+        assert store.enqueue(JOBS) == len(JOBS)
+        counts = store.queue_counts()
+        assert counts["pending"] == len(JOBS)
+
+    def test_enqueue_is_idempotent(self, store):
+        store.enqueue(JOBS)
+        assert store.enqueue(JOBS) == len(JOBS)
+        assert store.queue_counts()["pending"] == len(JOBS)
+
+    def test_enqueue_marks_committed_results_done(self, store):
+        """Resume semantics: cells already in the result store are
+        never recomputed."""
+        done_fp, done_payload = JOBS[0]
+        store.put(done_fp, {"answer": 42})
+        assert store.enqueue(JOBS) == len(JOBS) - 1
+        counts = store.queue_counts()
+        assert counts["done"] == 1
+        assert counts["pending"] == len(JOBS) - 1
+        claimed = {fp for fp, _ in store.claim("pid:1", 100)}
+        assert done_fp not in claimed
+
+
+class TestClaim:
+    def test_claim_leases_and_excludes(self, store):
+        store.enqueue(JOBS)
+        first = store.claim("owner-a", 2)
+        assert [fp for fp, _ in first] == [JOBS[0][0], JOBS[1][0]]
+        second = store.claim("owner-b", 100)
+        assert {fp for fp, _ in second}.isdisjoint(
+            {fp for fp, _ in first}
+        )
+        assert len(first) + len(second) == len(JOBS)
+
+    def test_claim_returns_payloads(self, store):
+        store.enqueue(JOBS)
+        (fp, payload), = store.claim("o", 1)
+        assert payload == {"cell": 0}
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.sqlite", lease_s=0.05)
+        store.enqueue(JOBS[:1])
+        assert store.claim("slow-worker", 1)
+        assert store.claim("thief", 1) == []  # lease still live
+        time.sleep(0.06)
+        stolen = store.claim("thief", 1)
+        assert [fp for fp, _ in stolen] == [JOBS[0][0]]
+
+    def test_claim_burns_attempts(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.sqlite", lease_s=0.01,
+                              max_attempts=2)
+        store.enqueue(JOBS[:1])
+        for _ in range(2):
+            assert store.claim("o", 1)
+            store.fail("o", JOBS[0][0], "boom")
+        # attempts exhausted: not claimable, reported as failed
+        assert store.claim("o", 1) == []
+        assert store.failed_jobs() == [(JOBS[0][0], "boom")]
+        assert store.remaining_runnable() == 0
+
+
+class TestCommitAndDrain:
+    def test_commit_is_atomic_result_plus_done(self, store):
+        store.enqueue(JOBS)
+        claimed = store.claim("o", 2)
+        store.commit("o", [
+            (fp, {"out": payload["cell"]}, None, 0.25)
+            for fp, payload in claimed
+        ])
+        counts = store.queue_counts()
+        assert counts["done"] == 2 and counts["leased"] == 0
+        for fp, payload in claimed:
+            assert store.get(fp) == {"out": payload["cell"]}
+
+    def test_drain_delivers_exactly_once(self, store):
+        store.enqueue(JOBS[:2])
+        claimed = store.claim("o", 2)
+        store.commit("o", [
+            (fp, {"out": 1}, {"pid": 7, "spans": []}, 0.5)
+            for fp, _ in claimed
+        ])
+        drained = store.drain_completed()
+        assert len(drained) == 2
+        fp, record, obs, elapsed = drained[0]
+        assert record == {"out": 1}
+        assert obs == {"pid": 7, "spans": []}
+        assert elapsed == 0.5
+        assert store.drain_completed() == []
+
+
+class TestReclaim:
+    def test_reclaims_past_deadline(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.sqlite", lease_s=0.01)
+        store.enqueue(JOBS[:3])
+        store.claim("anyone", 3)
+        time.sleep(0.02)
+        assert store.reclaim_stale() == 3
+        assert store.queue_counts()["pending"] == 3
+
+    def test_reclaims_dead_pid_before_deadline(self, store):
+        """SIGKILL'd same-box workers release their cells instantly,
+        without waiting out the lease deadline."""
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        dead_pid = proc.pid
+        store.enqueue(JOBS[:2])
+        claimed = store.claim(f"pid:{dead_pid}", 2)
+        assert len(claimed) == 2
+        assert store.reclaim_stale() == 2
+        assert store.queue_counts()["pending"] == 2
+
+    def test_live_pid_lease_is_kept(self, store):
+        import os
+
+        store.enqueue(JOBS[:1])
+        store.claim(f"pid:{os.getpid()}", 1)
+        assert store.reclaim_stale() == 0
+        assert store.queue_counts()["leased"] == 1
+
+
+def _contend(path, owner, out):
+    store = CampaignStore(path)
+    claimed = []
+    while True:
+        batch = store.claim(owner, 2)
+        if not batch:
+            break
+        claimed.extend(fp for fp, _ in batch)
+        store.commit(owner, [(fp, {"by": owner}, None, 0.0)
+                             for fp, _ in batch])
+    out.put((owner, claimed))
+
+
+class TestConcurrentClaimers:
+    def test_no_double_lease_across_processes(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = CampaignStore(path)
+        jobs = [(f"{i:064d}", {"i": i}) for i in range(40)]
+        store.enqueue(jobs)
+        ctx = multiprocessing.get_context()
+        out = ctx.Queue()
+        procs = [
+            ctx.Process(target=_contend, args=(path, f"w{i}", out))
+            for i in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        seen = {}
+        for _ in procs:
+            owner, claimed = out.get(timeout=10)
+            for fp in claimed:
+                assert fp not in seen, (
+                    f"{fp} claimed by both {owner} and {seen[fp]}"
+                )
+                seen[fp] = owner
+        assert len(seen) == len(jobs)
+        assert store.queue_counts()["done"] == len(jobs)

@@ -1,6 +1,9 @@
 """Tests for the on-disk result cache."""
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
@@ -103,3 +106,49 @@ def test_creates_directory(tmp_path):
     root = tmp_path / "deep" / "nested" / "cache"
     ResultCache(root)
     assert root.is_dir()
+
+
+def _dead_pid():
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestStaleTmpSweep:
+    """Crashed writers' ``.<fp>.json.<pid>.tmp`` litter is swept on
+    open; in-flight writes of live processes are left alone."""
+
+    def test_dead_writer_tmp_removed_on_open(self, tmp_path):
+        stale = tmp_path / f".{'a' * 64}.json.{_dead_pid()}.tmp"
+        stale.write_text("{}")
+        ResultCache(tmp_path)
+        assert not stale.exists()
+
+    def test_live_writer_tmp_kept_on_open(self, tmp_path):
+        inflight = tmp_path / f".{'b' * 64}.json.{os.getpid()}.tmp"
+        inflight.write_text("{}")
+        ResultCache(tmp_path)
+        assert inflight.exists()
+
+    def test_unparseable_tmp_removed_on_open(self, tmp_path):
+        junk = tmp_path / ".not-a-cache-write.tmp"
+        junk.write_text("x")
+        ResultCache(tmp_path)
+        assert not junk.exists()
+
+    def test_sweep_does_not_touch_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("c" * 64, {"cost": 1.0})
+        stale = tmp_path / f".{'a' * 64}.json.{_dead_pid()}.tmp"
+        stale.write_text("{}")
+        assert ResultCache(tmp_path).get("c" * 64) == {"cost": 1.0}
+        assert not stale.exists()
+
+    def test_clear_removes_all_tmp_including_live(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("c" * 64, {"cost": 1.0})
+        inflight = tmp_path / f".{'b' * 64}.json.{os.getpid()}.tmp"
+        inflight.write_text("{}")
+        assert cache.clear() == 1
+        assert not inflight.exists()
+        assert len(cache) == 0

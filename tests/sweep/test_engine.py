@@ -8,15 +8,22 @@ The two load-bearing guarantees (ISSUE 2's determinism satellite):
   through the PR 1 metrics layer rather than by timing.
 """
 
+import time
+
 import pytest
 
 from repro.cosim.metrics import MetricsRegistry
 from repro.cosim.trace import Tracer
+from repro.obs.spans import SpanTracer
+from repro.partition import HEURISTICS
 from repro.sweep import (
+    PoolJobError,
     ResultCache,
+    SweepCellError,
     SweepConfig,
     SweepResult,
     expand_grid,
+    pool_map,
     run_cell,
     run_sweep,
 )
@@ -185,3 +192,99 @@ class TestTable:
         table = SweepResult([])
         assert table.comparison_report() == "(empty sweep)"
         assert table.wins() == {}
+
+
+def _explode_on_boom(job):
+    if job == "boom":
+        raise ValueError("cell exploded")
+    return job.upper()
+
+
+def _sleep_job(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _boom_heuristic(problem, weights=None, seed=None, probe=None):
+    raise RuntimeError("heuristic exploded")
+
+
+class TestPoolMapCrashPath:
+    def test_serial_failure_names_job_and_keeps_completions(self):
+        done = {}
+        with pytest.raises(PoolJobError) as exc:
+            pool_map(_explode_on_boom, ["a", "boom", "c"], workers=1,
+                     on_done=lambda job, r, t: done.update({job: r}))
+        assert exc.value.job == "boom"
+        assert "boom" in str(exc.value)
+        assert done == {"a": "A"}
+
+    def test_pooled_failure_delivers_finished_successes(self):
+        done = {}
+        with pytest.raises(PoolJobError) as exc:
+            pool_map(_explode_on_boom, ["a", "b", "boom", "d"], workers=2,
+                     on_done=lambda job, r, t: done.update({job: r}))
+        assert exc.value.job == "boom"
+        assert "boom" not in done
+        for job, result in done.items():
+            assert result == job.upper()
+
+
+class TestPoolMapTiming:
+    def test_serial_timing_has_no_queue_wait(self):
+        timings = []
+        pool_map(_sleep_job, [0.01, 0.01], workers=1,
+                 on_done=lambda job, r, t: timings.append(t))
+        assert all(t.wait_s == 0.0 for t in timings)
+        assert all(t.elapsed_s >= 0.01 for t in timings)
+
+    def test_pool_elapsed_excludes_queue_wait(self):
+        """Four 0.25s jobs on two workers: the second round queues for
+        a full job length, but per-job elapsed must stay one job long.
+        The pre-fix clock started at submission, so the second round
+        reported ~2x the real cell time."""
+        timings = {}
+        pool_map(_sleep_job, [0.25] * 4, workers=2,
+                 on_done=lambda job, r, t: timings.setdefault(
+                     len(timings), t))
+        assert len(timings) == 4
+        for t in timings.values():
+            assert 0.25 <= t.elapsed_s < 0.45
+            assert t.wait_s >= 0.0
+        # somebody actually queued behind the first round
+        assert max(t.wait_s for t in timings.values()) > 0.15
+
+
+class TestSweepCrashPath:
+    def grid(self):
+        return expand_grid(generators=("layered",), n_tasks=(6,),
+                           heuristics=("greedy", "vulcan"), seeds=range(1))
+
+    def test_failure_names_cell_and_preserves_rows(self, monkeypatch,
+                                                   tmp_path):
+        grid = self.grid()
+        monkeypatch.setitem(HEURISTICS, "vulcan", _boom_heuristic)
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(SweepCellError) as exc:
+            run_sweep(grid, workers=1, cache=cache)
+        err = exc.value
+        vulcan = {c.fingerprint for c in grid if c.heuristic == "vulcan"}
+        greedy = {c.fingerprint for c in grid if c.heuristic == "greedy"}
+        assert err.fingerprint in vulcan
+        assert err.heuristic == "vulcan"
+        # completed rows are real records, never the {} placeholder
+        assert set(err.completed) == greedy
+        assert all(r["cost"] is not None for r in err.completed.values())
+        # ... and they reached the cache, so a re-run skips them
+        for fingerprint in greedy:
+            assert cache.get(fingerprint) is not None
+
+    def test_failure_exits_the_sweep_span(self, monkeypatch):
+        grid = self.grid()
+        monkeypatch.setitem(HEURISTICS, "vulcan", _boom_heuristic)
+        tracer = SpanTracer()
+        with pytest.raises(SweepCellError):
+            run_sweep(grid, workers=1, span_tracer=tracer)
+        assert tracer.current is None, "sweep span left open on failure"
+        (sweep_span,) = tracer.spans_named("sweep")
+        assert sweep_span.end > sweep_span.start
