@@ -71,6 +71,17 @@ METRICS = {
         Metric("idle_injector_overhead", "abs", tol=0.05),
         Metric("histogram", "exact"),
     ],
+    "BENCH_explore.json": [
+        # the explorer is model-deterministic: warm runs always serve
+        # every genome from cache, and the archive-dedup savings are a
+        # ratio of deterministic integer counters
+        Metric("cache_hit_ratio", "exact"),
+        Metric("evaluation_savings", "exact"),
+        # GA vs random at equal budget: gate the aggregate ratio on
+        # its acceptance floor (per-seed ratios are bimodal)
+        Metric("hv_ratio", "floor", tol=1.0),
+        Metric("speedup_explore4", "floor", tol=2.0, min_cpus=4),
+    ],
 }
 
 

@@ -15,6 +15,8 @@ processor that must compromise.
 Run:  python examples/asip_exploration.py
 """
 
+import argparse
+import sys
 from repro.asip.explore import explore_asip
 from repro.asip.metamorphosis import best_static_plan, plan_metamorphosis
 from repro.graph import kernels
@@ -70,10 +72,16 @@ def part2_metamorphosis() -> None:
     print("phases amortize it - the adapt-on-the-fly trade-off of 4.4.")
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast deterministic pass for CI")
+    parser.parse_args(argv)
     part1_frontier()
     part2_metamorphosis()
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -16,11 +16,18 @@ directions the paper surveys:
 Run:  python examples/coprocessor_codesign.py
 """
 
+import argparse
+import sys
 from repro.cosynth.coprocessor import synthesize_coprocessor
 from repro.graph import kernels
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast deterministic pass for CI")
+    parser.parse_args(argv)
     behaviors = {
         "dct": kernels.dct4(),
         "fir": kernels.fir(8),
@@ -53,7 +60,8 @@ def main() -> None:
     print("(every behavior's generated machine code and synthesized")
     print(" datapath were executed and checked against the dataflow")
     print(" reference - Section 3.2's unified functionality in action)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

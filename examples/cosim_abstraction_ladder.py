@@ -19,6 +19,8 @@ simulated model time, interface stall time, and kernel activations
 Run:  python examples/cosim_abstraction_ladder.py
 """
 
+import argparse
+import sys
 from repro.cosim.backplane import (
     Backplane,
     PinLevelAdapter,
@@ -91,7 +93,12 @@ def run_level(name):
     return result, sim.now, bp.stall_time, sim.activations
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast deterministic pass for CI")
+    parser.parse_args(argv)
     print("same software, three interface models (Figure 3):\n")
     print(f"{'level':>12s} {'result ok':>10s} {'time ns':>10s} "
           f"{'stall ns':>10s} {'events':>8s}")
@@ -113,7 +120,8 @@ def main() -> None:
     print("functional verification passes at every level; the levels")
     print("differ only in timing fidelity and simulation cost - the")
     print("trade-off Figure 3 arranges on its ladder.")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -12,6 +12,7 @@ Run:  python examples/cosim_trace_ladder.py [output-dir]
       (output defaults to a fresh temporary directory)
 """
 
+import argparse
 import os
 import sys
 import tempfile
@@ -91,10 +92,16 @@ def run_level(name):
     return sim, tracer
 
 
-def main() -> None:
-    outdir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
-        prefix="cosim_trace_"
-    )
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0])
+    parser.add_argument("outdir", nargs="?", default=None,
+                        help="directory for the JSON trace + VCD "
+                             "(default: a fresh temp directory)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast deterministic pass for CI")
+    args = parser.parse_args(argv)
+    outdir = args.outdir or tempfile.mkdtemp(prefix="cosim_trace_")
     os.makedirs(outdir, exist_ok=True)
 
     print("the Figure 3 ladder, with a tracer attached:\n")
@@ -136,7 +143,8 @@ def main() -> None:
 
     print("\nthe same simulation, the same result — but now every rung")
     print("of the cost ladder is a measured breakdown, not one number.")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -12,6 +12,8 @@ a hardware timer process raising real interrupts.
 Run:  python examples/embedded_interface.py
 """
 
+import argparse
+import sys
 from repro.cosim.kernel import Simulator
 from repro.interface.chinook import synthesize_interface
 from repro.interface.spec import gpio_spec, timer_spec, uart_spec
@@ -32,7 +34,12 @@ MAIN = """
 """
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast deterministic pass for CI")
+    parser.parse_args(argv)
     design = synthesize_interface([uart_spec(), timer_spec(), gpio_spec()])
     print(design.report())
     print()
@@ -87,7 +94,8 @@ def main() -> None:
     print(f"  simulated time:    {sim.now:.0f} ns, "
           f"{cpu.instr_count} instructions")
     print(f"  glue area:         {design.glue_area:.0f} gates")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -15,6 +15,8 @@ software.  Then:
 Run:  python examples/executable_spec_refinement.py
 """
 
+import argparse
+import sys
 from repro.core.flow import CodesignFlow
 from repro.spec import (
     ChannelSpec,
@@ -68,7 +70,12 @@ def packet_pipeline() -> SystemSpec:
     )
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast deterministic pass for CI")
+    parser.parse_args(argv)
     spec = packet_pipeline()
     print(f"specification: {len(spec.processes)} processes, "
           f"{len(spec.channels)} channels")
@@ -92,7 +99,8 @@ def main() -> None:
     print(f"\nthe filter (parallel, 10x hardware speedup) belongs in "
           f"hardware: "
           f"{'yes' if 'filter' in report.partition.hw_tasks else 'no'}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

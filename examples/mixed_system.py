@@ -23,10 +23,17 @@ golden reference.
 Run:  python examples/mixed_system.py
 """
 
+import argparse
+import sys
 from repro.core.mixed import FIR_COEFFS, build_and_run_mixed_system
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast deterministic pass for CI")
+    parser.parse_args(argv)
     samples = [5, 9, 2, 7]
     print("offloaded behavior: 4-tap FIR,",
           f"coefficients {FIR_COEFFS}, samples {samples}")
@@ -43,7 +50,8 @@ def main() -> None:
     print("device registers, at synthesized latency, signalled by a real")
     print("interrupt) and Type I (generated driver -> software via the")
     print("generated address decoder).")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -16,6 +16,8 @@ all three synthesizers choose allocations:
 Run:  python examples/multiprocessor_synthesis.py
 """
 
+import argparse
+import sys
 import random
 
 from repro.cosynth import (
@@ -27,7 +29,12 @@ from repro.estimate.software import default_processor_library
 from repro.graph.generators import periodic_taskset
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast deterministic pass for CI")
+    parser.parse_args(argv)
     library = default_processor_library()
     graph = periodic_taskset(
         random.Random(5), n_tasks=10, period=100.0, utilization=1.5
@@ -65,7 +72,8 @@ def main() -> None:
     print("shape to notice: as the deadline relaxes, every synthesizer")
     print("walks from few fast expensive PEs toward cheap slow ones -")
     print("the balance Figure 5's discussion describes.")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -110,7 +110,14 @@ def main(argv=None) -> int:
                              "invariant harness")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-run narration")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid + worker-count determinism "
+                             "assertion")
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.seeds = "0-1"
+        args.heuristics = "greedy,kl"
 
     grid = expand_grid(
         generators=_axis(args.generators, GENERATORS, "generator"),
@@ -154,6 +161,15 @@ def main(argv=None) -> int:
         print(f"  {table.stats.summary()}")
         print()
     print(table.comparison_report())
+
+    if args.smoke:
+        # the acceptance contract: identical table at 1 and 2 workers
+        serial = run_sweep(grid, workers=1, cache=cache)
+        pooled = run_sweep(grid, workers=2, cache=cache)
+        assert serial.to_json() == pooled.to_json(), \
+            "sweep table differs across worker counts"
+        if not args.quiet:
+            print("\nsmoke: table identical at 1 and 2 workers")
 
     if args.out:
         table.write_json(args.out)

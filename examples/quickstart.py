@@ -12,13 +12,20 @@ This is the 60-second tour of the framework:
 Run:  python examples/quickstart.py
 """
 
+import argparse
+import sys
 from repro.core.flow import CodesignFlow
 from repro.estimate.communication import TIGHT
 from repro.graph.kernels import jpeg_encoder_taskgraph
 from repro.partition.evaluate import evaluate_partition
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast deterministic pass for CI")
+    parser.parse_args(argv)
     graph = jpeg_encoder_taskgraph()
     print("workload: JPEG-style encoder,",
           f"{len(graph)} tasks, {len(graph.edges)} dataflow edges")
@@ -49,7 +56,8 @@ def main() -> None:
     print("cost breakdown (weighted):")
     for factor, value in sorted(report.partition.breakdown.items()):
         print(f"  {factor:20s} {value:10.1f}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

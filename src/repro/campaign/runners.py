@@ -87,7 +87,26 @@ def run_fault_payload_observed(payload: Dict[str, Any]) -> RunnerResult:
     )
 
 
+# ----------------------------------------------------------------------
+# explorer genome cells
+# ----------------------------------------------------------------------
+def run_explore_payload(payload: Dict[str, Any]) -> RunnerResult:
+    """One explorer genome evaluation from its JSON payload."""
+    from repro.explore.evaluate import run_genome
+
+    return run_genome(payload), None
+
+
+def run_explore_payload_observed(payload: Dict[str, Any]) -> RunnerResult:
+    """One explorer genome evaluation plus its observability payload."""
+    from repro.explore.evaluate import run_genome_observed
+
+    return run_genome_observed(payload)
+
+
 register_runner("sweep", run_sweep_payload)
 register_runner("sweep_observed", run_sweep_payload_observed)
 register_runner("fault", run_fault_payload)
 register_runner("fault_observed", run_fault_payload_observed)
+register_runner("explore", run_explore_payload)
+register_runner("explore_observed", run_explore_payload_observed)

@@ -277,9 +277,20 @@ class CampaignStore:
         ``leased`` past its deadline (work stealing — the previous
         owner crashed or stalled).  Claimed rows are stamped with the
         owner and a fresh deadline; the claim burns one attempt.
+        Stealing respects the retry budget: an expired lease whose
+        attempts are spent settles as permanently ``failed`` instead
+        of ping-ponging between thieves forever.
         """
         now = time.time()
         with self._txn():
+            self.conn.execute(
+                "UPDATE jobs SET state = 'failed', lease_owner = NULL, "
+                "lease_deadline = NULL, error = COALESCE(error, "
+                "'lease expired with retry budget exhausted') "
+                "WHERE state = 'leased' AND lease_deadline < ? "
+                "AND attempts >= ?",
+                (now, self.max_attempts),
+            )
             rows = self.conn.execute(
                 "SELECT fingerprint, payload FROM jobs WHERE "
                 "(state = 'pending'"
@@ -342,18 +353,20 @@ class CampaignStore:
         A lease is stale when its deadline passed *or* its owner was a
         ``pid:<n>`` on this box that no longer runs — the latter makes
         resume-after-SIGKILL instant instead of waiting out the
-        deadline.
+        deadline.  A stale lease with retry budget left goes back to
+        ``pending``; one whose attempts are spent settles as
+        permanently ``failed`` (same rule as :meth:`claim`'s stealing).
         """
         now = time.time()
         with self._txn():
             leased = self.conn.execute(
-                "SELECT fingerprint, lease_owner, lease_deadline "
-                "FROM jobs WHERE state = 'leased'"
+                "SELECT fingerprint, lease_owner, lease_deadline, "
+                "attempts FROM jobs WHERE state = 'leased'"
             ).fetchall()
             stale = []
-            for fp, lease_owner, deadline in leased:
+            for fp, lease_owner, deadline, attempts in leased:
                 if deadline is not None and deadline < now:
-                    stale.append(fp)
+                    stale.append((fp, attempts))
                     continue
                 if lease_owner and lease_owner.startswith("pid:"):
                     try:
@@ -361,13 +374,26 @@ class CampaignStore:
                     except ValueError:
                         continue
                     if not _pid_alive(pid):
-                        stale.append(fp)
-            if stale:
+                        stale.append((fp, attempts))
+            repend = [(fp,) for fp, attempts in stale
+                      if attempts < self.max_attempts]
+            exhaust = [(fp,) for fp, attempts in stale
+                       if attempts >= self.max_attempts]
+            if repend:
                 self.conn.executemany(
                     "UPDATE jobs SET state = 'pending', "
                     "lease_owner = NULL, lease_deadline = NULL "
                     "WHERE fingerprint = ? AND state = 'leased'",
-                    [(fp,) for fp in stale],
+                    repend,
+                )
+            if exhaust:
+                self.conn.executemany(
+                    "UPDATE jobs SET state = 'failed', "
+                    "lease_owner = NULL, lease_deadline = NULL, "
+                    "error = COALESCE(error, 'lease expired with "
+                    "retry budget exhausted') "
+                    "WHERE fingerprint = ? AND state = 'leased'",
+                    exhaust,
                 )
         return len(stale)
 

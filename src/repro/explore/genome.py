@@ -1,0 +1,290 @@
+"""Genome encoding for the design-space explorer.
+
+A *genome* is a plain ``{gene name: value}`` dict drawn from a
+:class:`SearchSpace` — an ordered list of :class:`Gene`, each a
+**finite value grid** (the same discipline as
+:data:`repro.partition.knobs.HEURISTIC_KNOBS`, and for the same
+reason: every evaluated genome is fingerprinted into the sweep result
+cache, and finite grids make repeated genomes byte-identical, hence
+free).
+
+The default space (:func:`design_space`) covers the axes ROADMAP item
+2 names:
+
+* **graph generator params** — generator family and task count;
+* **heuristic + its knobs** — the :data:`~repro.partition.HEURISTICS`
+  choice plus every knob the registry declares for it, encoded as
+  conditionally-active genes (``knob:<heuristic>.<name>``);
+* **cost-model weights** — the :class:`~repro.partition.CostWeights`
+  factors the chosen heuristic *optimizes under* (objectives are
+  always measured under fixed reference weights, so tuning-weight
+  genes steer the search without bending the yardstick);
+* **cost model / communication model** — the workload's cost tables.
+
+Inactive knob genes (knobs of heuristics the genome did not pick) are
+carried by the GA — the standard hidden-gene treatment, so a mutation
+that flips the heuristic re-activates previously-tuned knobs — but are
+**projected out** by :func:`SearchSpace.effective` before
+fingerprinting, so two genomes that differ only in hidden genes share
+one cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.generators import COST_MODELS, GENERATORS
+from repro.partition import HEURISTIC_KNOBS, HEURISTICS
+from repro.partition.cost import CostWeights
+from repro.sweep.config import COMM_MODELS
+
+#: Bump when genome semantics or the evaluation record schema change:
+#: old cache entries then read as misses instead of lying.
+EXPLORE_VERSION = 1
+
+#: Gene-name prefix for heuristic knobs: ``knob:<heuristic>.<knob>``.
+KNOB_PREFIX = "knob:"
+
+#: Gene-name prefix for tuning-weight genes: ``weight:<factor>``.
+WEIGHT_PREFIX = "weight:"
+
+Genome = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Gene:
+    """One axis of the search space: a finite, ordered value grid."""
+
+    name: str
+    values: Tuple[Any, ...]
+    default: Any
+    #: when set, this gene only applies while gene ``active_gene`` holds
+    #: ``active_value`` (knob genes: active while their heuristic is
+    #: selected).  Inactive genes are dropped from the effective genome.
+    active_gene: Optional[str] = None
+    active_value: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"gene {self.name!r} has an empty grid")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"gene {self.name!r} grid has duplicates")
+        if self.default not in self.values:
+            raise ValueError(
+                f"gene {self.name!r}: default {self.default!r} not in "
+                f"grid"
+            )
+
+
+class SearchSpace:
+    """An ordered, finite design space over named genes."""
+
+    def __init__(self, genes: Sequence[Gene]) -> None:
+        self.genes: Tuple[Gene, ...] = tuple(genes)
+        self.by_name: Dict[str, Gene] = {}
+        for gene in self.genes:
+            if gene.name in self.by_name:
+                raise ValueError(f"duplicate gene {gene.name!r}")
+            self.by_name[gene.name] = gene
+        for gene in self.genes:
+            if gene.active_gene is not None \
+                    and gene.active_gene not in self.by_name:
+                raise ValueError(
+                    f"gene {gene.name!r} conditioned on unknown gene "
+                    f"{gene.active_gene!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # construction of genomes
+    # ------------------------------------------------------------------
+    def default_genome(self) -> Genome:
+        """Every gene at its default value."""
+        return {gene.name: gene.default for gene in self.genes}
+
+    def random_genome(self, rng: random.Random) -> Genome:
+        """Uniform draw per gene (the random-search baseline's move)."""
+        return {
+            gene.name: gene.values[rng.randrange(len(gene.values))]
+            for gene in self.genes
+        }
+
+    def validate(self, genome: Genome) -> None:
+        """Reject missing/unknown genes and off-grid values loudly."""
+        missing = set(self.by_name) - set(genome)
+        unknown = set(genome) - set(self.by_name)
+        if missing or unknown:
+            raise KeyError(
+                f"genome mismatch: missing {sorted(missing)}, "
+                f"unknown {sorted(unknown)}"
+            )
+        for gene in self.genes:
+            if genome[gene.name] not in gene.values:
+                raise ValueError(
+                    f"gene {gene.name!r}: value "
+                    f"{genome[gene.name]!r} not on the grid"
+                )
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def is_active(self, gene: Gene, genome: Genome) -> bool:
+        """Does this gene affect the evaluated design of ``genome``?"""
+        if gene.active_gene is None:
+            return True
+        return genome[gene.active_gene] == gene.active_value
+
+    def effective(self, genome: Genome) -> Genome:
+        """The genome with inactive (hidden) genes projected out.
+
+        This is the *cacheable identity*: two genomes with the same
+        effective form evaluate to byte-identical records, so the
+        explorer fingerprints (and caches, and deduplicates) on it.
+        """
+        return {
+            gene.name: genome[gene.name]
+            for gene in self.genes if self.is_active(gene, genome)
+        }
+
+    def fingerprint(self, genome: Genome, extra: Any = None) -> str:
+        """Stable SHA-256 of the effective genome (+ problem context).
+
+        ``extra`` carries the fixed evaluation context (problem seed,
+        deadline factor, scenario...) so the same genome evaluated
+        against two different problems never shares a cache entry.
+        """
+        doc = json.dumps(
+            {
+                "version": EXPLORE_VERSION,
+                "genome": self.effective(genome),
+                "extra": extra,
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # GA operators (all RNG-driven; deterministic given the RNG state)
+    # ------------------------------------------------------------------
+    def mutate(
+        self, genome: Genome, rng: random.Random, rate: float = 0.25,
+    ) -> Genome:
+        """Per-gene mutation: with probability ``rate`` re-draw a gene
+        from its grid (excluding the current value, so a mutation that
+        fires always changes something).  At least one gene mutates, so
+        a child is never a silent clone of its parent."""
+        child = dict(genome)
+        mutable = [g for g in self.genes if len(g.values) >= 2]
+        mutated = False
+        for gene in self.genes:
+            if rng.random() < rate:
+                choices = [v for v in gene.values
+                           if v != genome[gene.name]]
+                if choices:
+                    child[gene.name] = choices[
+                        rng.randrange(len(choices))]
+                    mutated = True
+        if not mutated and mutable:
+            gene = mutable[rng.randrange(len(mutable))]
+            choices = [v for v in gene.values
+                       if v != genome[gene.name]]
+            child[gene.name] = choices[rng.randrange(len(choices))]
+        return child
+
+    def crossover(
+        self, a: Genome, b: Genome, rng: random.Random,
+    ) -> Genome:
+        """Uniform crossover: each gene from parent ``a`` or ``b`` with
+        equal probability, in declared gene order (so the RNG stream —
+        and therefore the child — is independent of dict order)."""
+        return {
+            gene.name: (a if rng.random() < 0.5 else b)[gene.name]
+            for gene in self.genes
+        }
+
+
+def _weight_grid(default: float) -> Tuple[float, ...]:
+    """The tuning grid for one cost factor: off, half, default, double.
+
+    ``default`` is always a member, so the all-defaults genome
+    reproduces the historical cost function exactly.
+    """
+    return tuple(sorted({0.0, default * 0.5, default, default * 2.0}))
+
+
+def design_space(
+    generators: Sequence[str] = ("layered", "forkjoin"),
+    n_tasks: Sequence[int] = (8, 12, 16),
+    cost_models: Sequence[str] = ("default",),
+    comm: Sequence[str] = ("default",),
+    heuristics: Sequence[str] = (
+        "greedy", "kl", "annealing", "vulcan", "cosyma", "gclp",
+    ),
+    weight_factors: Sequence[str] = ("modifiability", "concurrency"),
+) -> SearchSpace:
+    """The default explorer space over the registered axes.
+
+    Every axis is validated against its registry so a typo fails at
+    space construction, not four generations into a campaign.
+    """
+    for name, known, what in (
+        (generators, GENERATORS, "generator"),
+        (cost_models, COST_MODELS, "cost model"),
+        (comm, COMM_MODELS, "comm model"),
+        (heuristics, HEURISTICS, "heuristic"),
+    ):
+        for value in name:
+            if value not in known:
+                raise KeyError(
+                    f"unknown {what} {value!r}; known: {sorted(known)}"
+                )
+    defaults = CostWeights()
+    genes: List[Gene] = [
+        Gene("generator", tuple(generators), generators[0]),
+        Gene("n_tasks", tuple(n_tasks), n_tasks[0]),
+        Gene("cost_model", tuple(cost_models), cost_models[0]),
+        Gene("comm", tuple(comm), comm[0]),
+        Gene("heuristic", tuple(heuristics), heuristics[0]),
+    ]
+    for factor in weight_factors:
+        if not hasattr(defaults, factor):
+            raise KeyError(f"unknown cost factor {factor!r}")
+        default = getattr(defaults, factor)
+        genes.append(Gene(
+            f"{WEIGHT_PREFIX}{factor}", _weight_grid(default), default,
+        ))
+    for heuristic in heuristics:
+        for knob in HEURISTIC_KNOBS[heuristic]:
+            genes.append(Gene(
+                f"{KNOB_PREFIX}{heuristic}.{knob.name}",
+                knob.values, knob.default,
+                active_gene="heuristic", active_value=heuristic,
+            ))
+    return SearchSpace(genes)
+
+
+def split_genome(genome: Genome) -> Tuple[Dict[str, Any],
+                                          Dict[str, Any],
+                                          Dict[str, Any]]:
+    """Split an (effective) genome into (core, knobs, weights).
+
+    ``core`` holds the problem/heuristic axes, ``knobs`` the active
+    heuristic's keyword arguments (prefix and heuristic name stripped),
+    ``weights`` the tuning-weight factor overrides.
+    """
+    core: Dict[str, Any] = {}
+    knobs: Dict[str, Any] = {}
+    weights: Dict[str, Any] = {}
+    for name, value in genome.items():
+        if name.startswith(KNOB_PREFIX):
+            _, _, qualified = name.partition(KNOB_PREFIX)
+            _, _, knob = qualified.partition(".")
+            knobs[knob] = value
+        elif name.startswith(WEIGHT_PREFIX):
+            weights[name[len(WEIGHT_PREFIX):]] = value
+        else:
+            core[name] = value
+    return core, knobs, weights

@@ -38,6 +38,12 @@ from repro.partition.seeding import (
     ProgressRecord,
     resolve_rng,
 )
+from repro.partition.knobs import (
+    HEURISTIC_KNOBS,
+    Knob,
+    default_knobs,
+    validate_knobs,
+)
 from repro.partition.greedy import greedy_partition
 from repro.partition.kl import kernighan_lin
 from repro.partition.annealing import simulated_annealing
@@ -77,4 +83,8 @@ __all__ = [
     "cosyma_partition",
     "gclp_partition",
     "HEURISTICS",
+    "HEURISTIC_KNOBS",
+    "Knob",
+    "default_knobs",
+    "validate_knobs",
 ]

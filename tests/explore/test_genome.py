@@ -1,0 +1,201 @@
+"""The genome layer: grids, hidden genes, fingerprints, operators, DoE.
+
+The properties here are what the explorer's caching story rests on:
+the *effective* genome is the cacheable identity (hidden knob genes
+never leak into fingerprints), GA operators are closed over the grids
+(every child is a valid genome), and the DoE seeding is a pure
+function of the space (no RNG in the factorial itself).
+"""
+
+import random
+
+import pytest
+
+from repro.explore.doe import doe_population, fractional_factorial
+from repro.explore.genome import (
+    Gene,
+    SearchSpace,
+    design_space,
+    split_genome,
+)
+from repro.partition.knobs import HEURISTIC_KNOBS
+
+
+@pytest.fixture
+def space():
+    return design_space()
+
+
+class TestGene:
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError, match="empty"):
+            Gene("g", (), None)
+
+    def test_rejects_duplicate_values(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            Gene("g", (1, 1), 1)
+
+    def test_rejects_off_grid_default(self):
+        with pytest.raises(ValueError, match="not in"):
+            Gene("g", (1, 2), 3)
+
+
+class TestSearchSpace:
+    def test_default_genome_is_valid(self, space):
+        space.validate(space.default_genome())
+
+    def test_random_genomes_are_valid(self, space):
+        rng = random.Random(0)
+        for _ in range(50):
+            space.validate(space.random_genome(rng))
+
+    def test_validate_rejects_unknown_gene(self, space):
+        genome = space.default_genome()
+        genome["bogus"] = 1
+        with pytest.raises(KeyError, match="bogus"):
+            space.validate(genome)
+
+    def test_validate_rejects_off_grid_value(self, space):
+        genome = space.default_genome()
+        genome["n_tasks"] = 9999
+        with pytest.raises(ValueError, match="n_tasks"):
+            space.validate(genome)
+
+    def test_unknown_axis_fails_at_construction(self):
+        with pytest.raises(KeyError, match="heuristic"):
+            design_space(heuristics=("nope",))
+
+    def test_every_registered_knob_becomes_a_gene(self, space):
+        for heuristic, knobs in HEURISTIC_KNOBS.items():
+            for knob in knobs:
+                name = f"knob:{heuristic}.{knob.name}"
+                assert name in space.by_name
+                gene = space.by_name[name]
+                assert gene.active_gene == "heuristic"
+                assert gene.active_value == heuristic
+
+
+class TestEffectiveAndFingerprint:
+    def test_hidden_genes_projected_out(self, space):
+        genome = space.default_genome()
+        genome["heuristic"] = "kl"
+        effective = space.effective(genome)
+        assert "knob:kl.max_passes" in effective
+        assert "knob:greedy.max_iterations" not in effective
+        assert "knob:annealing.cooling" not in effective
+
+    def test_hidden_gene_changes_share_a_fingerprint(self, space):
+        a = space.default_genome()
+        a["heuristic"] = "kl"
+        b = dict(a)
+        b["knob:greedy.max_iterations"] = 5  # hidden while kl selected
+        assert space.fingerprint(a) == space.fingerprint(b)
+
+    def test_active_gene_changes_split_fingerprints(self, space):
+        a = space.default_genome()
+        a["heuristic"] = "kl"
+        b = dict(a)
+        b["knob:kl.max_passes"] = 1
+        assert space.fingerprint(a) != space.fingerprint(b)
+
+    def test_extra_context_splits_fingerprints(self, space):
+        genome = space.default_genome()
+        assert space.fingerprint(genome, extra={"seed": 0}) != \
+            space.fingerprint(genome, extra={"seed": 1})
+
+
+class TestOperators:
+    def test_mutate_always_changes_something(self, space):
+        rng = random.Random(1)
+        genome = space.default_genome()
+        for _ in range(100):
+            child = space.mutate(genome, rng, rate=0.0)
+            space.validate(child)
+            assert child != genome
+
+    def test_mutate_stays_on_grid(self, space):
+        rng = random.Random(2)
+        genome = space.default_genome()
+        for _ in range(100):
+            genome = space.mutate(genome, rng)
+            space.validate(genome)
+
+    def test_crossover_takes_each_gene_from_a_parent(self, space):
+        rng = random.Random(3)
+        a = space.default_genome()
+        b = space.random_genome(rng)
+        for _ in range(50):
+            child = space.crossover(a, b, rng)
+            space.validate(child)
+            for gene in space.genes:
+                assert child[gene.name] in (
+                    a[gene.name], b[gene.name])
+
+    def test_operators_deterministic_given_seed(self, space):
+        a, b = space.default_genome(), \
+            space.random_genome(random.Random(4))
+
+        def offspring(seed):
+            rng = random.Random(seed)
+            return [
+                space.mutate(space.crossover(a, b, rng), rng)
+                for _ in range(20)
+            ]
+
+        assert offspring(5) == offspring(5)
+        assert offspring(5) != offspring(6)
+
+
+class TestSplitGenome:
+    def test_three_way_split(self, space):
+        genome = space.effective(space.default_genome())
+        core, knobs, weights = split_genome(genome)
+        assert set(core) == {
+            "generator", "n_tasks", "cost_model", "comm", "heuristic",
+        }
+        assert set(weights) == {"modifiability", "concurrency"}
+        # default heuristic is greedy → only its knob is active
+        assert set(knobs) == {"max_iterations"}
+
+
+class TestDoE:
+    def test_factorial_is_deterministic(self, space):
+        assert fractional_factorial(space) == \
+            fractional_factorial(space)
+
+    def test_factorial_genomes_valid_and_unique(self, space):
+        design = fractional_factorial(space)
+        fps = set()
+        for genome in design:
+            space.validate(genome)
+            fps.add(tuple(sorted(genome.items())))
+        assert len(fps) == len(design)
+
+    def test_factorial_screens_every_varying_gene(self, space):
+        # resolution-III property: every multi-valued gene takes both
+        # extreme levels somewhere in the design
+        design = fractional_factorial(space)
+        for gene in space.genes:
+            if len(gene.values) < 2:
+                continue
+            seen = {genome[gene.name] for genome in design}
+            assert gene.values[0] in seen and gene.values[-1] in seen
+
+    def test_population_has_exact_size_and_no_duplicates(self, space):
+        pop = doe_population(space, 20, seed=0)
+        assert len(pop) == 20
+        fps = {space.fingerprint(g) for g in pop}
+        assert len(fps) == 20
+
+    def test_population_deterministic_in_seed(self, space):
+        assert doe_population(space, 12, seed=3) == \
+            doe_population(space, 12, seed=3)
+
+    def test_tiny_space_pads_with_duplicates(self):
+        tiny = SearchSpace([Gene("a", (1, 2), 1)])
+        pop = doe_population(tiny, 10, seed=0)
+        assert len(pop) == 10
+
+    def test_size_must_be_positive(self, space):
+        with pytest.raises(ValueError):
+            doe_population(space, 0, seed=0)

@@ -1,0 +1,68 @@
+"""PYTHONHASHSEED insensitivity, asserted across real interpreters.
+
+``PYTHONHASHSEED`` perturbs ``str`` hashing and therefore ``set``/
+``dict`` iteration order for strings — the exact mechanism behind the
+``cost_terms`` float-summation bug pinned in PR 6.  In-process tests
+cannot catch a regression here (the parent's hash seed is fixed at
+startup), so this suite launches small sweeps and explorer runs in
+subprocesses under two different hash seeds and requires byte-identical
+serialized tables from each pair.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+SWEEP_SNIPPET = """
+import sys
+from repro.sweep import SweepConfig, expand_grid, run_sweep
+
+grid = expand_grid(
+    generators=["layered", "forkjoin"],
+    n_tasks=[8],
+    cost_models=["default"],
+    heuristics=["greedy", "kl", "cosyma"],
+    seeds=[0, 1],
+)
+sys.stdout.write(run_sweep(grid).to_json())
+"""
+
+EXPLORE_SNIPPET = """
+import sys
+from repro.explore import ExploreSpec, explore
+
+spec = ExploreSpec(population=6, generations=2, n_tasks=(8,),
+                   heuristics=("greedy", "kl", "cosyma"),
+                   scenario="coproc", scenario_faults=8)
+sys.stdout.write(explore(spec, workers=1).to_json())
+"""
+
+
+def _run_under_hashseed(snippet: str, hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.parametrize("snippet,what", [
+    (SWEEP_SNIPPET, "sweep table"),
+    (EXPLORE_SNIPPET, "explore result"),
+])
+def test_byte_identical_across_hash_seeds(snippet, what):
+    a = _run_under_hashseed(snippet, "0")
+    b = _run_under_hashseed(snippet, "1")
+    assert a, f"{what} subprocess produced no output"
+    assert a == b, (
+        f"{what} differs between PYTHONHASHSEED=0 and =1 — an "
+        f"iteration-order-dependent sum or serialization crept in"
+    )

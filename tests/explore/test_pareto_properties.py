@@ -1,0 +1,231 @@
+"""Property-based contract of the Pareto/MCDM layer.
+
+Hypothesis drives random objective clouds (including deliberately tied
+and duplicated vectors) through :mod:`repro.explore.pareto`; the
+properties are the module's contract:
+
+* :func:`pareto_front` returns **exactly** the non-dominated subset —
+  no front member is dominated by any input, every non-member is
+  dominated by someone;
+* front extraction is **idempotent** (the front of the front is
+  itself) and **order-insensitive** (permuting the input permutes the
+  indices but never the selected multiset of points);
+* ties are **stable**: duplicated vectors are all on the front or all
+  off it, together;
+* the supporting machinery (sorting into fronts, crowding, weighted
+  sums, hypervolume) is total, deterministic, and monotone where the
+  algebra says it must be.
+
+Everything is derandomized: this suite is deterministic in CI.
+"""
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.explore.pareto import (
+    crowding_distance,
+    dominates,
+    hypervolume,
+    non_dominated_sort,
+    normalized_hypervolume,
+    objective_bounds,
+    pareto_front,
+    weighted_sum_rank,
+)
+
+COMMON = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# coordinates from a small grid so ties and duplicates are common —
+# the tie-handling properties are the ones worth hammering
+coord = st.integers(min_value=0, max_value=6).map(float)
+
+
+def points_strategy(dims):
+    return st.lists(
+        st.tuples(*[coord] * dims), min_size=1, max_size=24,
+    )
+
+
+any_points = st.one_of(points_strategy(2), points_strategy(3))
+
+
+# ----------------------------------------------------------------------
+# dominance
+# ----------------------------------------------------------------------
+class TestDominates:
+    @given(st.tuples(coord, coord, coord))
+    @settings(max_examples=50, **COMMON)
+    def test_never_self_dominating(self, p):
+        assert not dominates(p, p)
+
+    @given(st.tuples(coord, coord), st.tuples(coord, coord))
+    @settings(max_examples=200, **COMMON)
+    def test_antisymmetric(self, a, b):
+        assert not (dominates(a, b) and dominates(b, a))
+
+    @given(*[st.tuples(coord, coord, coord)] * 3)
+    @settings(max_examples=200, **COMMON)
+    def test_transitive(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+
+# ----------------------------------------------------------------------
+# the front: exactly the non-dominated set
+# ----------------------------------------------------------------------
+class TestParetoFront:
+    @given(any_points)
+    @settings(max_examples=200, **COMMON)
+    def test_exactly_the_non_dominated_set(self, points):
+        front = set(pareto_front(points))
+        assert front, "a non-empty set always has a non-dominated point"
+        for i in range(len(points)):
+            dominated = any(
+                dominates(points[j], points[i])
+                for j in range(len(points)) if j != i
+            )
+            assert (i not in front) == dominated, (i, points)
+
+    @given(any_points)
+    @settings(max_examples=200, **COMMON)
+    def test_idempotent(self, points):
+        members = pareto_front(points)
+        sub = [points[i] for i in members]
+        assert pareto_front(sub) == list(range(len(sub)))
+
+    @given(any_points, st.randoms(use_true_random=False))
+    @settings(max_examples=200, **COMMON)
+    def test_order_insensitive(self, points, rng):
+        baseline = Counter(points[i] for i in pareto_front(points))
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        assert Counter(
+            shuffled[i] for i in pareto_front(shuffled)
+        ) == baseline
+
+    @given(any_points)
+    @settings(max_examples=200, **COMMON)
+    def test_ties_stay_together(self, points):
+        # duplicate every point; each duplicate pair must land on the
+        # same side of the front
+        doubled = list(points) + list(points)
+        front = set(pareto_front(doubled))
+        n = len(points)
+        for i in range(n):
+            assert (i in front) == (i + n in front), doubled
+
+    @given(any_points)
+    @settings(max_examples=200, **COMMON)
+    def test_indices_ascend(self, points):
+        front = pareto_front(points)
+        assert front == sorted(front)
+
+
+class TestNonDominatedSort:
+    @given(any_points)
+    @settings(max_examples=200, **COMMON)
+    def test_partition_into_fronts(self, points):
+        fronts = non_dominated_sort(points)
+        flat = [i for front in fronts for i in front]
+        # exactly-one-front membership
+        assert sorted(flat) == list(range(len(points)))
+        assert fronts[0] == pareto_front(points)
+        for front in fronts:
+            sub = [points[i] for i in front]
+            assert pareto_front(sub) == list(range(len(sub)))
+
+
+# ----------------------------------------------------------------------
+# crowding, ranking
+# ----------------------------------------------------------------------
+class TestCrowding:
+    @given(any_points)
+    @settings(max_examples=200, **COMMON)
+    def test_total_and_non_negative(self, points):
+        crowd = crowding_distance(points)
+        assert len(crowd) == len(points)
+        assert all(c >= 0.0 for c in crowd)
+
+    @given(points_strategy(2))
+    @settings(max_examples=200, **COMMON)
+    def test_boundaries_are_infinite(self, points):
+        crowd = crowding_distance(points)
+        for d in range(2):
+            lo = min(p[d] for p in points)
+            hi = max(p[d] for p in points)
+            extreme = [i for i, p in enumerate(points)
+                       if p[d] in (lo, hi)]
+            assert any(crowd[i] == float("inf") for i in extreme)
+
+
+class TestWeightedSumRank:
+    @given(any_points)
+    @settings(max_examples=200, **COMMON)
+    def test_total_deterministic_order(self, points):
+        ranked = weighted_sum_rank(points)
+        assert [i for i, _ in sorted(ranked)] == list(
+            range(len(points)))
+        scalars = [s for _, s in ranked]
+        assert scalars == sorted(scalars)
+        assert ranked == weighted_sum_rank(points)
+
+    @given(any_points)
+    @settings(max_examples=200, **COMMON)
+    def test_best_is_never_strictly_dominated(self, points):
+        best = weighted_sum_rank(points)[0][0]
+        # equal-weight scalarization can't prefer a dominated point
+        # over its dominator (the dominator's scalar is <=, and ties
+        # break by index — but a strict dominator scores strictly less)
+        assert not any(
+            dominates(p, points[best]) for p in points
+        ), points
+
+
+# ----------------------------------------------------------------------
+# hypervolume
+# ----------------------------------------------------------------------
+class TestHypervolume:
+    @given(any_points)
+    @settings(max_examples=200, **COMMON)
+    def test_monotone_under_union(self, points):
+        dims = len(points[0])
+        ref = (7.0,) * dims
+        half = points[: max(1, len(points) // 2)]
+        assert hypervolume(points, ref) >= hypervolume(half, ref) - 1e-12
+
+    @given(any_points)
+    @settings(max_examples=200, **COMMON)
+    def test_dominated_points_add_nothing(self, points):
+        dims = len(points[0])
+        ref = (7.0,) * dims
+        front_only = [points[i] for i in pareto_front(points)]
+        assert abs(
+            hypervolume(points, ref) - hypervolume(front_only, ref)
+        ) < 1e-12
+
+    @given(st.tuples(coord, coord))
+    @settings(max_examples=100, **COMMON)
+    def test_single_point_rectangle(self, p):
+        ref = (7.0, 7.0)
+        expected = (ref[0] - p[0]) * (ref[1] - p[1])
+        assert abs(hypervolume([p], ref) - expected) < 1e-12
+
+    @given(points_strategy(3))
+    @settings(max_examples=200, **COMMON)
+    def test_3d_bounded_by_reference_box(self, points):
+        ref = (7.0, 7.0, 7.0)
+        hv = hypervolume(points, ref)
+        assert 0.0 <= hv <= 7.0 ** 3 + 1e-9
+
+    @given(any_points)
+    @settings(max_examples=100, **COMMON)
+    def test_normalized_form_is_bounded(self, points):
+        lo, hi = objective_bounds(points)
+        hv = normalized_hypervolume(points, lo, hi)
+        dims = len(points[0])
+        assert 0.0 <= hv <= 1.1 ** dims + 1e-9

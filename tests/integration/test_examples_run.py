@@ -33,6 +33,10 @@ EXPECTED_MARKERS = {
     "mixed_system.py": ["Mixed Type I / Type II", "matches"],
     "partition_sweep.py": ["cells", "heuristic", "wins"],
     "obs_report.py": ["flamegraph", "convergence", "schema valid"],
+    "design_explore.py": [
+        "pareto front", "weighted-sum pick",
+        "front identical at 1 and",
+    ],
 }
 
 
@@ -65,6 +69,7 @@ def test_every_example_is_listed():
 EXAMPLE_ARGS = {
     "obs_report.py": ["--smoke"],
     "fault_campaign.py": ["--smoke"],
+    "design_explore.py": ["--smoke"],
 }
 
 
