@@ -67,6 +67,10 @@ METRICS = {
         Metric("disabled_overhead", "abs", tol=0.05),
         Metric("enabled_overhead", "abs", tol=0.05),
     ],
+    "BENCH_telemetry.json": [
+        Metric("disabled_overhead", "abs", tol=0.05),
+        Metric("enabled_overhead", "abs", tol=0.05),
+    ],
     "BENCH_fault.json": [
         Metric("idle_injector_overhead", "abs", tol=0.05),
         Metric("histogram", "exact"),

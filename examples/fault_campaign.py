@@ -43,6 +43,13 @@ def main(argv=None) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="with --store: narrate committed progress "
                              "before running (resume is automatic)")
+    parser.add_argument("--flight-recorder", metavar="FILE",
+                        help="record live telemetry to this JSONL file "
+                             "(campaign_top.py --jsonl FILE)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="with --store: record shard heartbeats "
+                             "and queue gauges into the store's "
+                             "telemetry table")
     parser.add_argument("--out", metavar="FILE",
                         help="write the dependability report as JSON")
     parser.add_argument("--smoke", action="store_true",
@@ -58,6 +65,9 @@ def main(argv=None) -> int:
         raise SystemExit("--store and --cache are mutually exclusive")
     if args.resume and not args.store:
         raise SystemExit("--resume requires --store")
+    if args.telemetry and not args.store:
+        raise SystemExit("--telemetry requires --store (pool mode "
+                         "records with --flight-recorder instead)")
     if args.store:
         from repro.campaign import CampaignStore
 
@@ -68,11 +78,21 @@ def main(argv=None) -> int:
     else:
         cache = ResultCache(args.cache) if args.cache else None
 
+    recorder = None
+    if args.flight_recorder:
+        from repro.obs import JsonlRecorder
+
+        recorder = JsonlRecorder(args.flight_recorder)
+    elif args.telemetry:
+        from repro.obs import StoreRecorder
+
+        recorder = StoreRecorder(cache)
+
     print(f"campaign: scenario={args.scenario} faults={len(faults)} "
           f"seed={args.seed} workers={args.workers}")
     t0 = time.perf_counter()
     result = run_campaign(args.scenario, faults, workers=args.workers,
-                          cache=cache)
+                          cache=cache, recorder=recorder)
     elapsed = time.perf_counter() - t0
     print()
     print(result.dependability_table())

@@ -31,9 +31,12 @@ import tempfile
 from repro.cosim.metrics import MetricsRegistry
 from repro.graph.generators import COST_MODELS, GENERATORS
 from repro.obs import (
+    JsonlRecorder,
     ProgressProbe,
     SpanTracer,
     convergence_sink,
+    read_samples,
+    render_status,
     validate_trace_events,
 )
 from repro.partition import HEURISTICS
@@ -64,10 +67,19 @@ def run_sweep_report(args, outdir):
     spans = SpanTracer()
     probe = ProgressProbe(sink=convergence_sink(spans))
     metrics = MetricsRegistry()
+    recorder = None
+    if args.live:
+        recorder = JsonlRecorder(os.path.join(outdir, "flight.jsonl"))
     print(f"observed sweep: {len(grid)} cells, workers={args.workers}")
     table = run_sweep(grid, workers=args.workers, span_tracer=spans,
-                      probe=probe, metrics=metrics)
+                      probe=probe, metrics=metrics, recorder=recorder)
     print(f"  {table.stats.summary()}")
+    if recorder is not None:
+        recorder.close()
+        samples = read_samples(recorder.path)
+        print()
+        print(render_status(samples, title="flight recorder"))
+        print(f"  ({len(samples)} samples in {recorder.path})")
 
     trace_doc = spans.to_perfetto(indent=None)
     print()
@@ -159,9 +171,15 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--table-rows", type=int, default=12,
                         help="max rows per convergence table (default 12)")
+    parser.add_argument("--live", action="store_true",
+                        help="arm the JSONL flight recorder during the "
+                             "sweep and render the live-status frame "
+                             "(sweep mode only)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny fixed grid for CI smoke runs")
     args = parser.parse_args(argv)
+    if args.live and args.mode != "sweep":
+        parser.error("--live is sweep-mode only")
 
     if args.smoke:
         args.generators = "layered"

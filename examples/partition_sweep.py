@@ -102,6 +102,16 @@ def main(argv=None) -> int:
     parser.add_argument("--import-cache", default=None, metavar="DIR",
                         help="with --store: first import a JSON "
                              "ResultCache directory into the store")
+    parser.add_argument("--flight-recorder", default=None,
+                        metavar="FILE",
+                        help="record live telemetry (heartbeats, "
+                             "progress) to this JSONL file; read it "
+                             "live with examples/campaign_top.py "
+                             "--jsonl FILE")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="with --store: record shard heartbeats "
+                             "and queue gauges into the store's "
+                             "telemetry table (campaign_top --store)")
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="write the result table as canonical JSON")
     parser.add_argument("--differential", type=int, default=0,
@@ -133,6 +143,9 @@ def main(argv=None) -> int:
         raise SystemExit("--store and --cache are mutually exclusive")
     if (args.resume or args.import_cache) and not args.store:
         raise SystemExit("--resume/--import-cache require --store")
+    if args.telemetry and not args.store:
+        raise SystemExit("--telemetry requires --store (pool mode "
+                         "records with --flight-recorder instead)")
     if args.store:
         from repro.campaign import CampaignStore
 
@@ -150,13 +163,25 @@ def main(argv=None) -> int:
         cache = ResultCache(args.cache) if args.cache else None
     metrics = MetricsRegistry()
 
+    recorder = None
+    if args.flight_recorder:
+        from repro.obs import JsonlRecorder
+
+        recorder = JsonlRecorder(args.flight_recorder)
+    elif args.telemetry:
+        from repro.obs import StoreRecorder
+
+        recorder = StoreRecorder(cache)
+
     if not args.quiet:
         backing = (args.store and f"store {args.store}") or \
             (args.cache and f"cache {args.cache}") or "off"
         print(f"sweep: {len(grid)} cells, workers={args.workers}, "
               f"results={backing}")
     table = run_sweep(grid, workers=args.workers, cache=cache,
-                      metrics=metrics)
+                      metrics=metrics, recorder=recorder)
+    if args.flight_recorder and not args.quiet:
+        print(f"  flight recorder: {args.flight_recorder}")
     if not args.quiet:
         print(f"  {table.stats.summary()}")
         print()

@@ -34,6 +34,11 @@ from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.campaign.runners import get_runner
 from repro.campaign.store import CampaignStore
+from repro.obs.live import (
+    DEFAULT_HEARTBEAT_S,
+    StoreRecorder,
+    TelemetryEmitter,
+)
 
 #: ``on_done(fingerprint, record, obs_or_none, in_worker_elapsed_s)``.
 OnDone = Callable[[str, Dict[str, Any], Optional[Dict[str, Any]], float],
@@ -66,16 +71,38 @@ class CampaignCellError(RuntimeError):
 
 
 def _shard_main(path, lease_s: float, max_attempts: int,
-                runner_name: str, batch: int, poll_s: float) -> None:
-    """One shard process: claim → compute → commit until drained."""
+                runner_name: str, batch: int, poll_s: float,
+                heartbeat_s: Optional[float] = None) -> None:
+    """One shard process: claim → compute → commit until drained.
+
+    With ``heartbeat_s`` set, the shard also heartbeats into the
+    store's ``telemetry`` table (cumulative ``done``/``failed`` gauges
+    plus the in-flight batch size) so the coordinator, a live
+    ``campaign_top``, and :meth:`CampaignStore.reclaim_stale` can all
+    judge its liveness from the outside.  ``None`` constructs no
+    telemetry object at all — the zero-cost-when-disabled contract.
+    """
     store = CampaignStore(path, lease_s=lease_s,
                           max_attempts=max_attempts)
     runner = get_runner(runner_name)
     owner = f"pid:{os.getpid()}"
+    emitter = None
+    if heartbeat_s is not None:
+        emitter = TelemetryEmitter(StoreRecorder(store), owner=owner,
+                                   role="shard",
+                                   interval_s=heartbeat_s)
+    done = failed = 0
     while True:
         jobs = store.claim(owner, batch)
+        if emitter is not None:
+            emitter.heartbeat(done=done, failed=failed,
+                              in_flight=len(jobs))
         if not jobs:
             if store.remaining_runnable() == 0:
+                if emitter is not None:
+                    emitter.heartbeat(force=True, done=done,
+                                      failed=failed, in_flight=0,
+                                      exiting=True)
                 return
             # peers hold live leases; wait for expiry/reclaim to steal
             time.sleep(poll_s)
@@ -88,11 +115,17 @@ def _shard_main(path, lease_s: float, max_attempts: int,
             except Exception as exc:  # noqa: BLE001 — cell isolation
                 store.fail(owner, fingerprint,
                            f"{type(exc).__name__}: {exc}")
+                failed += 1
                 continue
             completed.append(
                 (fingerprint, record, obs, time.perf_counter() - t0)
             )
+            if emitter is not None:
+                emitter.heartbeat(
+                    done=done + len(completed), failed=failed,
+                    in_flight=len(jobs) - len(completed))
         store.commit(owner, completed)
+        done += len(completed)
 
 
 def run_store_jobs(
@@ -105,6 +138,8 @@ def run_store_jobs(
     poll_s: float = 0.02,
     metrics=None,
     span_tracer=None,
+    recorder=None,
+    heartbeat_s: Optional[float] = None,
 ) -> None:
     """Run ``jobs`` through the store's queue on ``workers`` shards.
 
@@ -114,9 +149,27 @@ def run_store_jobs(
     leases, and emits queue-depth telemetry.  Raises
     :class:`CampaignCellError` when cells exhausted their attempts and
     :class:`CampaignInterrupted` when all shards died early.
+
+    ``recorder``/``heartbeat_s`` arm the flight recorder: shards
+    heartbeat into the store's ``telemetry`` table every
+    ``heartbeat_s`` seconds and the coordinator records its own
+    heartbeats plus ``queue`` gauge samples to ``recorder`` (default:
+    the store itself).  Both ``None`` — the default — constructs no
+    telemetry object anywhere on the path.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if heartbeat_s is None and recorder is not None:
+        heartbeat_s = DEFAULT_HEARTBEAT_S
+    emitter = None
+    if heartbeat_s is not None:
+        # owner "coord:<pid>" keeps the coordinator's stream distinct
+        # from an in-process shard's "pid:<pid>" lease owner
+        emitter = TelemetryEmitter(
+            recorder if recorder is not None else StoreRecorder(store),
+            owner=f"coord:{os.getpid()}",
+            role="coordinator", interval_s=heartbeat_s,
+        )
     reclaimed = store.reclaim_stale()
     if reclaimed and metrics is not None:
         metrics.counter("campaign.leases.reclaimed").inc(reclaimed)
@@ -149,10 +202,22 @@ def run_store_jobs(
             counts = store.queue_counts()
             span_tracer.event("queue.depth", **counts)
 
+    def pulse(force: bool = False, exiting: bool = False) -> None:
+        # coordinator-side flight-recorder sample: heartbeat + the
+        # queue gauges a live status view renders its footer from
+        if emitter is None:
+            return
+        data = {"done": len(delivered), "workers": workers}
+        if exiting:
+            data["exiting"] = True
+        if emitter.heartbeat(force=force, **data):
+            emitter.emit("queue", **store.queue_counts())
+
     depth_event()
+    pulse(force=True)
     if workers == 1 or remaining <= 1:
         args = (store.path, store.lease_s, store.max_attempts,
-                runner_name, batch, poll_s)
+                runner_name, batch, poll_s, heartbeat_s)
         _shard_main(*args)
     else:
         ctx = multiprocessing.get_context()
@@ -160,7 +225,7 @@ def run_store_jobs(
             ctx.Process(
                 target=_shard_main,
                 args=(store.path, store.lease_s, store.max_attempts,
-                      runner_name, batch, poll_s),
+                      runner_name, batch, poll_s, heartbeat_s),
                 name=f"campaign-shard-{i}",
                 daemon=True,
             )
@@ -172,6 +237,7 @@ def run_store_jobs(
             while True:
                 drain()
                 depth_event()
+                pulse()
                 counts = store.queue_counts()
                 undone = sum(
                     n for state, n in counts.items() if state != "done"
@@ -206,6 +272,7 @@ def run_store_jobs(
         if record is not None:
             deliver(fingerprint, record, None, 0.0)
     depth_event()
+    pulse(force=True, exiting=True)
 
     failures = dict(store.failed_jobs())
     if failures:

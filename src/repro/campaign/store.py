@@ -71,6 +71,18 @@ CREATE TABLE IF NOT EXISTS jobs (
     drained        INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state);
+CREATE TABLE IF NOT EXISTS telemetry (
+    id        INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind      TEXT NOT NULL,
+    owner     TEXT NOT NULL,
+    role      TEXT NOT NULL,
+    wall_time REAL NOT NULL,
+    mono_time REAL NOT NULL,
+    seq       INTEGER NOT NULL,
+    data      TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS telemetry_kind_owner
+    ON telemetry (kind, owner, id);
 """
 
 #: Job states.  ``pending`` → ``leased`` → ``done`` is the happy path;
@@ -100,11 +112,20 @@ class CampaignStore:
     """
 
     def __init__(self, path, lease_s: float = 20.0,
-                 max_attempts: int = 3) -> None:
+                 max_attempts: int = 3,
+                 heartbeat_timeout_s: Optional[float] = None) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.lease_s = float(lease_s)
         self.max_attempts = int(max_attempts)
+        #: a lease owner that *has* emitted heartbeats but has been
+        #: silent this long is presumed dead/hung even if its lease
+        #: deadline has not passed — the liveness test that survives
+        #: the move to cross-box shards, where ``_pid_alive`` cannot
+        self.heartbeat_timeout_s = (
+            float(heartbeat_timeout_s)
+            if heartbeat_timeout_s is not None else 2.0 * self.lease_s
+        )
         self._conn: Optional[sqlite3.Connection] = None
         self._conn_pid: Optional[int] = None
         self.conn  # create the schema eagerly
@@ -196,13 +217,14 @@ class CampaignStore:
         ]
 
     def clear(self) -> int:
-        """Drop every result *and* the whole queue; returns results
-        removed."""
+        """Drop every result, the whole queue, *and* the flight
+        recorder; returns results removed."""
         with self._txn():
             removed = self.conn.execute(
                 "SELECT COUNT(*) FROM results").fetchone()[0]
             self.conn.execute("DELETE FROM results")
             self.conn.execute("DELETE FROM jobs")
+            self.conn.execute("DELETE FROM telemetry")
         return removed
 
     def __len__(self) -> int:
@@ -350,14 +372,21 @@ class CampaignStore:
     def reclaim_stale(self) -> int:
         """Return stale leases to the pool; how many were reclaimed.
 
-        A lease is stale when its deadline passed *or* its owner was a
-        ``pid:<n>`` on this box that no longer runs — the latter makes
-        resume-after-SIGKILL instant instead of waiting out the
-        deadline.  A stale lease with retry budget left goes back to
-        ``pending``; one whose attempts are spent settles as
-        permanently ``failed`` (same rule as :meth:`claim`'s stealing).
+        A lease is stale when its deadline passed, its owner was a
+        ``pid:<n>`` on this box that no longer runs (instant
+        resume-after-SIGKILL), *or* its owner has emitted heartbeats
+        into the ``telemetry`` table but has been silent longer than
+        :attr:`heartbeat_timeout_s` — the liveness test that catches
+        hung-but-alive shards today and remote shards (no testable
+        pid) once the store grows a cross-box transport.  Owners that
+        never heartbeat are judged only by deadline and pid, so
+        telemetry-off campaigns behave exactly as before.  A stale
+        lease with retry budget left goes back to ``pending``; one
+        whose attempts are spent settles as permanently ``failed``
+        (same rule as :meth:`claim`'s stealing).
         """
         now = time.time()
+        heartbeats = self.latest_heartbeats()
         with self._txn():
             leased = self.conn.execute(
                 "SELECT fingerprint, lease_owner, lease_deadline, "
@@ -375,6 +404,11 @@ class CampaignStore:
                         continue
                     if not _pid_alive(pid):
                         stale.append((fp, attempts))
+                        continue
+                beat = heartbeats.get(lease_owner)
+                if beat is not None and \
+                        now - beat["wall_time"] > self.heartbeat_timeout_s:
+                    stale.append((fp, attempts))
             repend = [(fp,) for fp, attempts in stale
                       if attempts < self.max_attempts]
             exhaust = [(fp,) for fp, attempts in stale
@@ -457,6 +491,93 @@ class CampaignStore:
                 (self.max_attempts,),
             )
         ]
+
+    def leased_jobs(self) -> List[Tuple[str, str, float, int]]:
+        """Leases currently held: (fingerprint, owner, deadline,
+        attempts), sorted — the post-mortem's "uncommitted cells"."""
+        return [
+            (fp, owner or "", deadline, attempts)
+            for fp, owner, deadline, attempts in self.conn.execute(
+                "SELECT fingerprint, lease_owner, lease_deadline, "
+                "attempts FROM jobs WHERE state = 'leased' "
+                "ORDER BY fingerprint"
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # flight recorder (the telemetry table)
+    # ------------------------------------------------------------------
+    def record_telemetry(
+        self, samples: Iterable[Dict[str, Any]]
+    ) -> int:
+        """Append flight-recorder samples (one batched transaction).
+
+        ``samples`` are :meth:`TelemetrySample.to_dict` dicts.  The
+        table is append-only and lives outside the results/jobs
+        contract entirely: nothing here ever feeds a fingerprint or a
+        record, so recording cannot perturb resumability or
+        byte-identity.
+        """
+        rows = [
+            (s["kind"], s["owner"], s["role"], s["wall_time"],
+             s["mono_time"], s["seq"],
+             json.dumps(s.get("data", {}), sort_keys=True))
+            for s in samples
+        ]
+        if not rows:
+            return 0
+        with self._txn():
+            self.conn.executemany(
+                "INSERT INTO telemetry (kind, owner, role, wall_time, "
+                "mono_time, seq, data) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+        return len(rows)
+
+    def telemetry(
+        self,
+        kind: Optional[str] = None,
+        owner: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Recorded samples in arrival order, optionally filtered."""
+        query = ("SELECT kind, owner, role, wall_time, mono_time, "
+                 "seq, data FROM telemetry")
+        clauses, params = [], []
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if owner is not None:
+            clauses.append("owner = ?")
+            params.append(owner)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id"
+        return [
+            {
+                "kind": k, "owner": o, "role": r, "wall_time": w,
+                "mono_time": m, "seq": q, "data": json.loads(data),
+            }
+            for k, o, r, w, m, q, data in self.conn.execute(
+                query, params)
+        ]
+
+    def latest_heartbeats(self) -> Dict[str, Dict[str, Any]]:
+        """The newest heartbeat sample per owner (empty when the
+        campaign never recorded telemetry)."""
+        rows = self.conn.execute(
+            "SELECT kind, owner, role, wall_time, mono_time, seq, data "
+            "FROM telemetry WHERE id IN (SELECT MAX(id) FROM telemetry "
+            "WHERE kind = 'heartbeat' GROUP BY owner)"
+        ).fetchall()
+        return {
+            owner: {
+                "kind": kind, "owner": owner, "role": role,
+                "wall_time": wall_time, "mono_time": mono_time,
+                "seq": seq, "data": json.loads(data),
+            }
+            for kind, owner, role, wall_time, mono_time, seq, data
+            in rows
+        }
 
     # ------------------------------------------------------------------
     def _txn(self):

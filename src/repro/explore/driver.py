@@ -40,6 +40,7 @@ recomputed nothing" from counters, not timing.
 from __future__ import annotations
 
 import json
+import os
 import random
 import sys
 import time
@@ -66,6 +67,7 @@ from repro.explore.pareto import (
     pareto_front,
     weighted_sum_rank,
 )
+from repro.obs.live import TelemetryEmitter
 from repro.obs.spans import SpanTracer
 from repro.partition.seeding import ProgressProbe
 from repro.sweep.engine import CellTiming, pool_map
@@ -336,6 +338,7 @@ def explore(
     metrics: Optional[MetricsRegistry] = None,
     span_tracer: Optional[SpanTracer] = None,
     probe: Optional[ProgressProbe] = None,
+    recorder=None,
 ) -> ExploreResult:
     """Run the closed-loop GA/DoE search; return the evaluated archive.
 
@@ -344,6 +347,12 @@ def explore(
     ``.claim``, exactly like the engines) — with a store, genome
     evaluation runs on the durable campaign service and an interrupted
     exploration resumes without recomputing committed genomes.
+
+    ``recorder`` arms the flight recorder: run marks, evaluation
+    heartbeats, and one ``generation`` sample per selection round
+    (front size, hypervolume, best scalar) stream to it live; samples
+    never enter the archive, so the front JSON is byte-identical with
+    or without a recorder.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -351,6 +360,17 @@ def explore(
     t0 = time.perf_counter()
     space = spec.space()
     stats = ExploreStats(workers=workers)
+
+    emitter = None
+    if recorder is not None:
+        # distinct owner: in store mode the campaign coordinator (and
+        # a workers=1 in-process shard) shares this pid
+        emitter = TelemetryEmitter(recorder,
+                                   owner=f"explore:{os.getpid()}",
+                                   role="explore")
+        emitter.emit("run", event="start",
+                     population=spec.population,
+                     generations=spec.generations, workers=workers)
 
     if span_tracer is not None:
         span_tracer.name_lane(span_tracer.pid, "explore driver")
@@ -390,6 +410,7 @@ def explore(
         evaluator = _Evaluator(
             space, spec, extra, workers, cache, metrics, span_tracer,
             stats, archive_order, records, full_genomes,
+            recorder=recorder, emitter=emitter,
         )
 
         rng = random.Random(spec.ga_seed)
@@ -427,6 +448,8 @@ def explore(
                 "best_fingerprint": archive_order[ranked[0][0]],
             })
             metrics.counter("explore.generations").inc()
+            if emitter is not None:
+                emitter.emit("generation", **history[-1])
             if probe is not None:
                 probe.record(
                     "explore", gen_best, best_cost=best_scalar,
@@ -469,6 +492,18 @@ def explore(
             explore_span.__exit__(*sys.exc_info())
 
     stats.elapsed_s = time.perf_counter() - t0
+    if emitter is not None:
+        # the final beat carries ``exiting`` so post-mortems read a
+        # completed exploration as exited, not dead (rate limiting
+        # would otherwise swallow it on short runs)
+        emitter.heartbeat(force=True, exiting=True,
+                          done=stats.computed + stats.cache_hits,
+                          cache_hits=stats.cache_hits)
+        emitter.emit("run", event="finish",
+                     archive=len(result.rows),
+                     computed=stats.computed,
+                     cache_hits=stats.cache_hits,
+                     elapsed_s=stats.elapsed_s)
     result.stats = stats
     if span_tracer is not None or probe is not None:
         result.obs = {"span_tracer": span_tracer, "probe": probe,
@@ -564,8 +599,10 @@ class _Evaluator:
 
     def __init__(self, space, spec, extra, workers, cache, metrics,
                  span_tracer, stats, archive_order, records,
-                 full_genomes) -> None:
+                 full_genomes, recorder=None, emitter=None) -> None:
         self.space = space
+        self.recorder = recorder
+        self.emitter = emitter
         self.spec = spec
         self.extra = extra
         self.workers = workers
@@ -639,6 +676,10 @@ class _Evaluator:
                    obs: Optional[Dict[str, Any]]) -> None:
             results[fp] = record
             self.stats.computed += 1
+            if self.emitter is not None:
+                self.emitter.heartbeat(
+                    done=self.stats.computed + self.stats.cache_hits,
+                    requested=self.stats.requested)
             metrics.counter("explore.genomes.computed").inc()
             metrics.histogram("explore.genome.elapsed_s").observe(
                 timing.elapsed_s)
@@ -665,7 +706,8 @@ class _Evaluator:
                       else "explore")
             run_store_jobs(self.cache, runner, pending, self.workers,
                            on_committed, metrics=metrics,
-                           span_tracer=self.span_tracer)
+                           span_tracer=self.span_tracer,
+                           recorder=self.recorder)
         else:
             fn = run_genome_observed if self.observed else run_genome
 

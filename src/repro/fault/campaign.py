@@ -39,6 +39,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from repro.fault.scenarios import SCENARIOS, run_scenario
 from repro.fault.spec import FAULT_VERSION, OUTCOMES, FaultSpec
 from repro.cosim.metrics import MetricsRegistry
+from repro.obs.live import TelemetryEmitter
 from repro.obs.spans import SpanTracer
 from repro.sweep.cache import ResultCache
 from repro.sweep.engine import CellTiming, pool_map
@@ -238,6 +239,7 @@ def run_campaign(
     cache: Optional[ResultCache] = None,
     span_tracer: Optional[SpanTracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    recorder=None,
 ) -> CampaignResult:
     """Run the golden reference plus one cell per fault; classify all.
 
@@ -247,6 +249,8 @@ def run_campaign(
     ``cache`` makes re-runs incremental; attaching a ``span_tracer``
     puts per-fault spans (recorded inside the workers) onto the
     parent's Perfetto timeline without perturbing the records.
+    ``recorder`` arms the flight recorder exactly as in ``run_sweep``
+    — live run marks and heartbeats, never a byte in the records.
     """
     if scenario not in SCENARIOS:
         raise KeyError(
@@ -300,11 +304,23 @@ def run_campaign(
     #: interruption, results committed by the shards themselves.
     store_mode = cache is not None and hasattr(cache, "claim")
 
+    #: pool mode emits from the parent; store mode hands the recorder
+    #: to the campaign service (coordinator + shard streams) instead
+    emitter = None
+    if recorder is not None and not store_mode:
+        emitter = TelemetryEmitter(recorder, role="fault")
+        emitter.emit("run", event="start", scenario=scenario,
+                     faults=len(faults), workers=workers)
+
     def finish(fingerprint: str, record: Dict[str, Any],
                timing: CellTiming,
                obs: Optional[Dict[str, Any]]) -> None:
         records[fingerprint] = record
         stats.computed += 1
+        if emitter is not None:
+            emitter.heartbeat(done=stats.computed + stats.cache_hits,
+                              cache_hits=stats.cache_hits,
+                              total=len(faults) + 1)
         metrics.counter("fault.cells.computed").inc()
         metrics.histogram("fault.cell.elapsed_s").observe(
             timing.elapsed_s)
@@ -336,7 +352,7 @@ def run_campaign(
             runner = "fault_observed" if observed else "fault"
             run_store_jobs(cache, runner, payloads, workers,
                            on_committed, metrics=metrics,
-                           span_tracer=span_tracer)
+                           span_tracer=span_tracer, recorder=recorder)
         else:
             by_job_fp = {id(job): fp for fp, job in pending}
 
@@ -378,6 +394,19 @@ def run_campaign(
     if campaign_span is not None:
         campaign_span.__exit__(None, None, None)
     stats.elapsed_s = time.perf_counter() - t0
+    if emitter is not None:
+        # the final beat carries ``exiting`` so post-mortems read a
+        # completed campaign as exited, not dead (rate limiting would
+        # otherwise swallow it on short runs)
+        emitter.heartbeat(force=True, exiting=True,
+                          done=stats.computed + stats.cache_hits,
+                          cache_hits=stats.cache_hits,
+                          total=len(faults) + 1)
+        emitter.emit("run", event="finish", scenario=scenario,
+                     done=stats.computed + stats.cache_hits,
+                     computed=stats.computed,
+                     cache_hits=stats.cache_hits,
+                     elapsed_s=stats.elapsed_s)
     result.stats = stats
     for outcome, count in result.histogram().items():
         metrics.counter(f"fault.outcome.{outcome}").inc(count)

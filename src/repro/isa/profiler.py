@@ -41,6 +41,15 @@ class Profiler:
         profiler = Profiler(cpu)
         cpu.run()
         print(profiler.report(isa))
+
+    Attaching registers an observer on the CPU, which takes
+    ``run_block`` off its straight-line fast path for the duration —
+    so a profiler should be detached once profiling ends.  Prefer the
+    context-manager form, which detaches automatically::
+
+        with Profiler(cpu) as profiler:
+            cpu.run()
+        # fast path re-engaged; profile still readable
     """
 
     def __init__(self, cpu: Cpu) -> None:
@@ -52,6 +61,29 @@ class Profiler:
         self.executed_pairs: Dict[Tuple[int, int], int] = {}
         self._last_pc: Optional[int] = None
         cpu.observers.append(self._observe)
+
+    def detach(self) -> None:
+        """Stop observing; the collected profile stays readable.
+
+        Removes this profiler's observer from the CPU, so with no
+        other observers attached ``run_block`` returns to its
+        straight-line fast path.  Idempotent.
+        """
+        try:
+            self.cpu.observers.remove(self._observe)
+        except ValueError:
+            pass  # already detached
+
+    @property
+    def attached(self) -> bool:
+        """Is this profiler currently observing the CPU?"""
+        return self._observe in self.cpu.observers
+
+    def __enter__(self) -> "Profiler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
 
     def _observe(self, pc: int, instr: Instruction) -> None:
         self.pc_counts[pc] = self.pc_counts.get(pc, 0) + 1

@@ -15,6 +15,11 @@ effort go:
   (:func:`validate_trace_events`) CI runs on every smoke trace;
 * :mod:`repro.obs.flame` — aligned-text flamegraph rendering
   (:func:`render_flamegraph`) for terminals;
+* :mod:`repro.obs.live` — the flight recorder: periodic heartbeat /
+  queue / generation samples from in-flight runs into a store table
+  or JSONL file, plus the ``campaign_top`` status rendering;
+* :mod:`repro.obs.postmortem` — crash post-mortems reconstructed from
+  the flight recorder + the store's leases (:func:`post_mortem`);
 * :class:`repro.partition.seeding.ProgressProbe` (re-exported here) —
   per-iteration convergence telemetry from every heuristic;
   :func:`convergence_sink` turns its records into span events live.
@@ -45,6 +50,18 @@ from repro.obs.perfetto import (
     validate_trace_events,
 )
 from repro.obs.flame import fold_spans, render_flamegraph
+from repro.obs.live import (
+    DEFAULT_HEARTBEAT_S,
+    JsonlRecorder,
+    StoreRecorder,
+    TelemetryEmitter,
+    TelemetrySample,
+    latest_by_owner,
+    owner_throughput,
+    read_samples,
+    render_status,
+)
+from repro.obs.postmortem import PostMortem, post_mortem
 from repro.partition.seeding import ProgressProbe, ProgressRecord
 
 
@@ -75,6 +92,17 @@ __all__ = [
     "validate_trace_events",
     "fold_spans",
     "render_flamegraph",
+    "DEFAULT_HEARTBEAT_S",
+    "JsonlRecorder",
+    "StoreRecorder",
+    "TelemetryEmitter",
+    "TelemetrySample",
+    "latest_by_owner",
+    "owner_throughput",
+    "read_samples",
+    "render_status",
+    "PostMortem",
+    "post_mortem",
     "ProgressProbe",
     "ProgressRecord",
     "convergence_sink",

@@ -31,22 +31,35 @@ if TYPE_CHECKING:  # pragma: no cover - types only
 REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
 
 
-def to_trace_events(tracer: "SpanTracer") -> List[Dict[str, Any]]:
+def to_trace_events(
+    tracer: "SpanTracer", unfinished: bool = False
+) -> List[Dict[str, Any]]:
     """The tracer's merged timeline as a list of trace-event dicts.
 
     Timestamps are normalized to the earliest recorded instant and
     scaled to microseconds (the trace-event unit).
+
+    ``unfinished=True`` additionally dumps still-open spans — the
+    regions in flight when a run crashed or a post-mortem snapshot was
+    taken — as complete events with a synthetic end at dump time and
+    ``"unfinished": true`` in their args, so a crash-time trace still
+    passes :func:`validate_trace_events` instead of requiring a
+    cleanly exited tracer.
     """
     spans = tracer.finished
     events = tracer.events
-    starts = [s.start for s in spans] + [e.time for e in events]
+    open_spans = list(tracer.open_spans) if unfinished else []
+    starts = ([s.start for s in spans] + [e.time for e in events]
+              + [s.start for s in open_spans])
     origin = min(starts) if starts else 0.0
 
     def us(t: float) -> float:
         return round((t - origin) * 1e6, 3)
 
     out: List[Dict[str, Any]] = []
-    for pid in tracer.pids():
+    pids = set(tracer.pids())
+    pids.update(s.pid for s in open_spans)
+    for pid in sorted(pids):
         label = tracer.lane_names.get(pid, f"pid {pid}")
         out.append({
             "ph": "M", "ts": 0, "pid": pid, "tid": 0,
@@ -58,6 +71,18 @@ def to_trace_events(tracer: "SpanTracer") -> List[Dict[str, Any]]:
             "pid": span.pid, "tid": span.tid, "name": span.name,
             "cat": "span", "args": dict(span.attrs),
         })
+    if open_spans:
+        # synthetic end: dump time, never before the span's own start
+        dump_t = max([tracer.now()] + [s.start for s in open_spans])
+        for span in sorted(open_spans,
+                           key=lambda s: (s.start, s.depth)):
+            out.append({
+                "ph": "X", "ts": us(span.start),
+                "dur": max(us(dump_t) - us(span.start), 0.0),
+                "pid": span.pid, "tid": span.tid, "name": span.name,
+                "cat": "span",
+                "args": {**span.attrs, "unfinished": True},
+            })
     for event in sorted(events, key=lambda e: e.time):
         out.append({
             "ph": "i", "ts": us(event.time), "pid": event.pid,
@@ -68,11 +93,12 @@ def to_trace_events(tracer: "SpanTracer") -> List[Dict[str, Any]]:
 
 
 def to_perfetto_json(
-    tracer: "SpanTracer", indent: Optional[int] = None
+    tracer: "SpanTracer", indent: Optional[int] = None,
+    unfinished: bool = False,
 ) -> str:
     """The JSON Object Format document Perfetto/chrome://tracing load."""
     doc = {
-        "traceEvents": to_trace_events(tracer),
+        "traceEvents": to_trace_events(tracer, unfinished=unfinished),
         "displayTimeUnit": "ms",
     }
     return json.dumps(doc, indent=indent)

@@ -1,0 +1,258 @@
+"""Crash post-mortems from the flight recorder.
+
+After a SIGKILL, a crash, or a hang, the run itself can't tell you
+what it was doing — but the flight recorder (:mod:`repro.obs.live`)
+and the campaign store's queue can.  :func:`post_mortem` reconstructs
+the run's last known state from the outside:
+
+* the **final heartbeat per owner** and a liveness verdict for each —
+  ``exited`` (said goodbye), ``dead`` (its pid is gone), ``hung``
+  (alive or unknowable, but silent past the heartbeat timeout), or
+  ``live``;
+* the **uncommitted leases** still stamped in the store's queue — the
+  exact cells that were claimed but never committed — and the subset
+  held by dead/hung owners (the *suspect cells*, the ones most likely
+  mid-compute at the moment of death);
+* permanently **failed cells** with their last error;
+* whatever **spans** were flushed, including still-open ones via the
+  Perfetto exporter's ``unfinished`` mode.
+
+The result renders as JSON (machines) or markdown (incident notes).
+Everything here is read-only: a post-mortem never mutates the store,
+so it is safe to run against a campaign that is still in flight — in
+which case it is simply a status report with verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.live import (
+    DEFAULT_HEARTBEAT_S,
+    TelemetrySample,
+    latest_by_owner,
+    owner_throughput,
+)
+
+#: Without a store (whose ``heartbeat_timeout_s`` wins), an owner
+#: silent this long is presumed hung.
+DEFAULT_SILENCE_TIMEOUT_S = 10.0 * DEFAULT_HEARTBEAT_S
+
+#: Owners embed their pid as a trailing integer (``pid:123``,
+#: ``coord:123``, ``explore:123``).
+_OWNER_PID = re.compile(r"(?:^|:)(\d+)$")
+
+
+def owner_pid(owner: str) -> Optional[int]:
+    """The pid embedded in an owner name, if any."""
+    match = _OWNER_PID.search(owner)
+    return int(match.group(1)) if match else None
+
+
+@dataclass
+class PostMortem:
+    """One reconstructed last-known state (see :func:`post_mortem`)."""
+
+    generated_at: float
+    owners: List[Dict[str, Any]] = field(default_factory=list)
+    uncommitted: List[Dict[str, Any]] = field(default_factory=list)
+    suspects: List[str] = field(default_factory=list)
+    failed: List[Dict[str, str]] = field(default_factory=list)
+    queue: Optional[Dict[str, int]] = None
+    last_generation: Optional[Dict[str, Any]] = None
+    unfinished_spans: List[Dict[str, Any]] = field(default_factory=list)
+    samples: int = 0
+
+    def dead_owners(self) -> List[str]:
+        """Owners whose verdict is ``dead`` or ``hung``, sorted."""
+        return sorted(
+            o["owner"] for o in self.owners
+            if o["verdict"] in ("dead", "hung")
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the machine-readable report)."""
+        return {
+            "generated_at": self.generated_at,
+            "owners": self.owners,
+            "uncommitted": self.uncommitted,
+            "suspects": self.suspects,
+            "failed": self.failed,
+            "queue": self.queue,
+            "last_generation": self.last_generation,
+            "unfinished_spans": self.unfinished_spans,
+            "samples": self.samples,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          indent=indent)
+
+    def to_markdown(self) -> str:
+        """The incident-note rendering of the report."""
+        lines = ["# campaign post-mortem", ""]
+        lines.append(f"- flight-recorder samples: {self.samples}")
+        if self.queue is not None:
+            counts = "  ".join(f"{state}={n}" for state, n
+                               in sorted(self.queue.items()))
+            lines.append(f"- queue: {counts}")
+        dead = self.dead_owners()
+        if dead:
+            lines.append(f"- dead/hung owner(s): {', '.join(dead)}")
+        lines.append("")
+        lines.append("## owners (last heartbeat each)")
+        lines.append("")
+        if self.owners:
+            for o in self.owners:
+                beat = o.get("last_heartbeat")
+                detail = ("never heartbeat" if beat is None else
+                          f"seq={beat['seq']} age={o['age_s']:.1f}s "
+                          f"data={json.dumps(beat['data'], sort_keys=True)}")
+                lines.append(
+                    f"- `{o['owner']}` ({o['role']}) — "
+                    f"**{o['verdict']}** — {detail}"
+                )
+        else:
+            lines.append("- (no telemetry recorded)")
+        lines.append("")
+        lines.append("## uncommitted leases")
+        lines.append("")
+        if self.uncommitted:
+            for lease in self.uncommitted:
+                suspect = (" **suspect**"
+                           if lease["fingerprint"] in self.suspects
+                           else "")
+                lines.append(
+                    f"- `{lease['fingerprint']}` held by "
+                    f"`{lease['owner']}` (attempts={lease['attempts']})"
+                    f"{suspect}"
+                )
+        else:
+            lines.append("- none — every claimed cell was committed")
+        if self.failed:
+            lines.append("")
+            lines.append("## permanently failed cells")
+            lines.append("")
+            for f in self.failed:
+                lines.append(
+                    f"- `{f['fingerprint']}`: {f['error']}")
+        if self.last_generation is not None:
+            lines.append("")
+            g = self.last_generation
+            lines.append(
+                f"## explorer: last generation "
+                f"{g.get('generation')} (front={g.get('front_size')}, "
+                f"hv={g.get('hypervolume')})"
+            )
+        if self.unfinished_spans:
+            lines.append("")
+            lines.append("## spans still open at dump time")
+            lines.append("")
+            for span in self.unfinished_spans:
+                lines.append(
+                    f"- `{span['name']}` "
+                    f"(pid {span['pid']}, depth {span['depth']})")
+        return "\n".join(lines) + "\n"
+
+
+def post_mortem(
+    store=None,
+    samples: Optional[List[TelemetrySample]] = None,
+    span_tracer=None,
+    now_wall: Optional[float] = None,
+    silence_timeout_s: Optional[float] = None,
+    pid_alive=None,
+) -> PostMortem:
+    """Reconstruct a run's last known state from its black boxes.
+
+    ``store`` supplies the telemetry table, queue counts, leases, and
+    failures; ``samples`` (from :func:`repro.obs.live.read_samples`)
+    supplies a JSONL flight recorder instead of — or in addition to —
+    the store's table; ``span_tracer`` contributes its still-open
+    spans.  All sources are optional and read-only.
+
+    ``pid_alive`` is injectable for tests; the default is the store
+    module's same-box liveness probe.
+    """
+    from repro.campaign.store import _pid_alive
+
+    alive = pid_alive if pid_alive is not None else _pid_alive
+    now = time.time() if now_wall is None else now_wall
+    all_samples: List[TelemetrySample] = []
+    if store is not None:
+        all_samples.extend(
+            TelemetrySample.from_dict(doc) for doc in store.telemetry()
+        )
+    if samples is not None:
+        all_samples.extend(samples)
+
+    timeout = silence_timeout_s
+    if timeout is None:
+        timeout = (store.heartbeat_timeout_s if store is not None
+                   else DEFAULT_SILENCE_TIMEOUT_S)
+
+    report = PostMortem(generated_at=now, samples=len(all_samples))
+
+    beats = latest_by_owner(all_samples)
+    for owner in sorted(beats):
+        sample = beats[owner]
+        age = now - sample.wall_time
+        pid = owner_pid(owner)
+        if sample.data.get("exiting"):
+            verdict = "exited"
+        elif pid is not None and not alive(pid):
+            verdict = "dead"
+        elif age > timeout:
+            verdict = "hung"
+        else:
+            verdict = "live"
+        report.owners.append({
+            "owner": owner,
+            "role": sample.role,
+            "verdict": verdict,
+            "age_s": age,
+            "pid": pid,
+            "throughput": owner_throughput(all_samples, owner),
+            "last_heartbeat": sample.to_dict(),
+        })
+
+    gens = [s for s in all_samples if s.kind == "generation"]
+    if gens:
+        report.last_generation = dict(gens[-1].data)
+
+    if store is not None:
+        report.queue = store.queue_counts()
+        verdicts = {o["owner"]: o["verdict"] for o in report.owners}
+        for fp, owner, deadline, attempts in store.leased_jobs():
+            report.uncommitted.append({
+                "fingerprint": fp,
+                "owner": owner,
+                "lease_deadline": deadline,
+                "attempts": attempts,
+            })
+            # a lease whose holder said goodbye, died, or went silent
+            # is a suspect cell: claimed, never committed, and nobody
+            # is coming back for it
+            pid = owner_pid(owner)
+            verdict = verdicts.get(owner)
+            holder_gone = (
+                verdict in ("dead", "hung", "exited")
+                or (verdict is None and pid is not None
+                    and not alive(pid))
+            )
+            if holder_gone:
+                report.suspects.append(fp)
+        report.failed = [
+            {"fingerprint": fp, "error": error}
+            for fp, error in store.failed_jobs()
+        ]
+
+    if span_tracer is not None:
+        report.unfinished_spans = [
+            span.to_dict() for span in span_tracer.open_spans
+        ]
+    return report

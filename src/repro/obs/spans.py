@@ -167,6 +167,21 @@ class SpanTracer:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
+    @property
+    def open_spans(self) -> List[Span]:
+        """Every still-open span, outermost first.
+
+        Normally empty at export time; after a crash or SIGKILL these
+        are exactly the regions that were in flight, which the
+        Perfetto exporter can dump with synthetic ends
+        (``unfinished=True``).
+        """
+        return list(self._stack)
+
+    def now(self) -> float:
+        """The tracer's clock (the exporter's synthetic end time)."""
+        return self._clock()
+
     def name_lane(self, pid: int, label: str) -> None:
         """Attach a human label to a pid lane (worker naming)."""
         self.lane_names[pid] = label
@@ -225,15 +240,25 @@ class SpanTracer:
         return (max(s.end for s in self.finished)
                 - min(s.start for s in self.finished))
 
-    def to_perfetto(self, indent: Optional[int] = None) -> str:
-        """The merged timeline as Chrome trace-event / Perfetto JSON."""
-        from repro.obs.perfetto import to_perfetto_json
-        return to_perfetto_json(self, indent=indent)
+    def to_perfetto(self, indent: Optional[int] = None,
+                    unfinished: bool = False) -> str:
+        """The merged timeline as Chrome trace-event / Perfetto JSON.
 
-    def write_perfetto(self, path: str, indent: Optional[int] = None) -> None:
+        ``unfinished=True`` also dumps still-open spans with a
+        synthetic end at dump time (marked ``unfinished`` in their
+        args) — the crash/post-mortem form, which still passes the
+        schema validator.
+        """
+        from repro.obs.perfetto import to_perfetto_json
+        return to_perfetto_json(self, indent=indent,
+                                unfinished=unfinished)
+
+    def write_perfetto(self, path: str, indent: Optional[int] = None,
+                       unfinished: bool = False) -> None:
         """Write :meth:`to_perfetto` to ``path``."""
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_perfetto(indent=indent))
+            fh.write(self.to_perfetto(indent=indent,
+                                      unfinished=unfinished))
 
     def flamegraph(self, width: int = 72) -> str:
         """Aligned-text flamegraph of the span hierarchy."""

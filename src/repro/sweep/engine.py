@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cosim.metrics import MetricsRegistry
 from repro.cosim.trace import Tracer
+from repro.obs.live import TelemetryEmitter
 from repro.obs.spans import SpanTracer
 from repro.obs import convergence_sink
 from repro.partition import CostWeights, HEURISTICS, ProgressProbe
@@ -320,6 +321,7 @@ def run_sweep(
     tracer: Optional[Tracer] = None,
     span_tracer: Optional[SpanTracer] = None,
     probe: Optional[ProgressProbe] = None,
+    recorder=None,
 ) -> SweepResult:
     """Run every cell of the grid; return the ordered result table.
 
@@ -334,6 +336,13 @@ def run_sweep(
     convergence records land in the probe, and worker-side metric
     deltas fold into ``metrics`` — counters read identically at any
     worker count.  The row/cache content is unchanged either way.
+
+    ``recorder`` arms the flight recorder (:mod:`repro.obs.live`):
+    run marks and progress heartbeats stream to it while the sweep is
+    in flight — from this process in pool mode, and from the
+    coordinator plus every shard in store mode.  Samples never enter
+    rows, fingerprints, or the cache; the table is byte-identical
+    with or without a recorder.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -384,11 +393,25 @@ def run_sweep(
     #: campaign service — the store commits results itself.
     store_mode = cache is not None and hasattr(cache, "claim")
 
+    #: pool mode: the parent is the only writer, so it emits the run
+    #: marks and heartbeats itself (completions arrive here).  Store
+    #: mode hands the recorder to the campaign service instead — the
+    #: coordinator and shards each own their telemetry stream.
+    emitter = None
+    if recorder is not None and not store_mode:
+        emitter = TelemetryEmitter(recorder, role="sweep")
+        emitter.emit("run", event="start", cells=len(configs),
+                     workers=workers)
+
     def finish(config: SweepConfig, record: Dict[str, Any],
                timing: CellTiming,
                obs: Optional[Dict[str, Any]] = None) -> None:
         rows[config.fingerprint] = record
         stats.computed += 1
+        if emitter is not None:
+            emitter.heartbeat(done=stats.computed + stats.cache_hits,
+                              cache_hits=stats.cache_hits,
+                              total=len(configs))
         metrics.counter("sweep.cells.computed").inc()
         metrics.histogram("sweep.cell.elapsed_s").observe(
             timing.elapsed_s)
@@ -438,7 +461,8 @@ def run_sweep(
             try:
                 run_store_jobs(cache, runner, payloads, workers,
                                on_committed, metrics=metrics,
-                               span_tracer=span_tracer)
+                               span_tracer=span_tracer,
+                               recorder=recorder)
             except CampaignCellError as exc:
                 fingerprint = next(iter(sorted(exc.failures)))
                 failure = (by_fingerprint[fingerprint], exc)
@@ -468,6 +492,19 @@ def run_sweep(
             sweep_span.__exit__(*sys.exc_info())
 
     stats.elapsed_s = time.perf_counter() - t0
+    if emitter is not None:
+        # the final beat carries ``exiting`` so post-mortems read a
+        # completed run as exited, not dead (rate limiting would
+        # otherwise swallow it on short runs)
+        emitter.heartbeat(force=True, exiting=True,
+                          done=stats.computed + stats.cache_hits,
+                          cache_hits=stats.cache_hits,
+                          total=len(configs))
+        emitter.emit("run", event="finish",
+                     done=stats.computed + stats.cache_hits,
+                     computed=stats.computed,
+                     cache_hits=stats.cache_hits,
+                     elapsed_s=stats.elapsed_s)
     table = SweepResult([rows[c.fingerprint] for c in configs])
     table.stats = stats
     if observed:

@@ -30,6 +30,7 @@ EXPECTED_MARKERS = {
     "fault_campaign.py": [
         "detection coverage", "outcome classes reached",
     ],
+    "campaign_top.py": ["campaign post-mortem", "queue: done="],
     "mixed_system.py": ["Mixed Type I / Type II", "matches"],
     "partition_sweep.py": ["cells", "heuristic", "wins"],
     "obs_report.py": ["flamegraph", "convergence", "schema valid"],
@@ -67,6 +68,7 @@ def test_every_example_is_listed():
 #: Per-example CLI args for the generic run test (keeps slow examples
 #: inside their smoke configurations).
 EXAMPLE_ARGS = {
+    "campaign_top.py": ["--smoke"],
     "obs_report.py": ["--smoke"],
     "fault_campaign.py": ["--smoke"],
     "design_explore.py": ["--smoke"],

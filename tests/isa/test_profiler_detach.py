@@ -1,0 +1,131 @@
+"""Profiler attach/detach lifecycle.
+
+An attached profiler is a CPU observer, which takes ``run_block`` off
+its straight-line fast path; these tests pin the contract that
+``detach()`` (or the context-manager form) re-engages the fast path
+while leaving the collected profile readable."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.cpu import Cpu, Memory
+from repro.isa.instructions import Isa
+from repro.isa.profiler import Profiler
+
+LOOP_PROGRAM = """
+        addi r1, r0, 0
+        addi r2, r0, 20
+    loop:
+        mul  r3, r1, r1
+        addi r1, r1, 1
+        bne  r1, r2, loop
+        halt
+"""
+
+
+def make_cpu():
+    isa = Isa()
+    prog = assemble(LOOP_PROGRAM, isa)
+    mem = Memory()
+    mem.load_image(prog.image)
+    return Cpu(isa, mem, pc=prog.entry)
+
+
+def forbid_slow_path(cpu):
+    def boom(max_steps):
+        raise AssertionError("slow path used with no observers")
+
+    cpu._run_block_slow = boom
+
+
+class TestDetach:
+    def test_attach_and_detach_toggle_the_observer(self):
+        cpu = make_cpu()
+        profiler = Profiler(cpu)
+        assert profiler.attached
+        assert cpu.observers
+        profiler.detach()
+        assert not profiler.attached
+        assert not cpu.observers
+
+    def test_detach_is_idempotent(self):
+        cpu = make_cpu()
+        profiler = Profiler(cpu)
+        profiler.detach()
+        profiler.detach()
+        assert not cpu.observers
+
+    def test_detach_removes_only_its_own_observer(self):
+        cpu = make_cpu()
+        other = lambda pc, instr: None  # noqa: E731
+        cpu.observers.append(other)
+        Profiler(cpu).detach()
+        assert cpu.observers == [other]
+
+    def test_run_block_fast_path_reengages_after_detach(self):
+        """The acceptance test: while attached, run_block routes
+        through the slow path; after detach it must never touch it."""
+        cpu = make_cpu()
+        profiler = Profiler(cpu)
+
+        slow_calls = []
+        orig = cpu._run_block_slow
+
+        def counting(max_steps):
+            slow_calls.append(max_steps)
+            return orig(max_steps)
+
+        cpu._run_block_slow = counting
+        cpu.run_block(8)
+        assert slow_calls, "observers armed but fast path taken"
+        assert profiler.total_instructions == 8
+
+        profiler.detach()
+        forbid_slow_path(cpu)
+        cpu.run()  # must finish entirely on the fast path
+        assert cpu.halted
+
+    def test_profile_stays_readable_and_frozen_after_detach(self):
+        cpu = make_cpu()
+        profiler = Profiler(cpu)
+        cpu.run_block(10)
+        profiler.detach()
+        seen = profiler.total_instructions
+        assert seen == 10
+        cpu.run()
+        # detached: later execution is not observed
+        assert profiler.total_instructions == seen
+        assert cpu.instr_count > seen
+        assert profiler.report()  # still renders
+
+
+class TestContextManager:
+    def test_with_block_detaches_on_exit(self):
+        cpu = make_cpu()
+        with Profiler(cpu) as profiler:
+            assert profiler.attached
+            cpu.run_block(8)
+        assert not profiler.attached
+        assert not cpu.observers
+        assert profiler.total_instructions == 8
+        forbid_slow_path(cpu)
+        cpu.run()
+        assert cpu.halted
+
+    def test_with_block_detaches_on_exception(self):
+        cpu = make_cpu()
+        with pytest.raises(RuntimeError):
+            with Profiler(cpu) as profiler:
+                raise RuntimeError("boom")
+        assert not profiler.attached
+        assert not cpu.observers
+
+    def test_full_run_profile_matches_plain_profiler(self):
+        plain_cpu = make_cpu()
+        plain = Profiler(plain_cpu)
+        plain_cpu.run()
+        managed_cpu = make_cpu()
+        with Profiler(managed_cpu) as managed:
+            managed_cpu.run()
+        assert managed.opcode_histogram() == plain.opcode_histogram()
+        assert managed.total_cycles == plain.total_cycles

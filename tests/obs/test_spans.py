@@ -210,3 +210,75 @@ class TestFlamegraph:
 
     def test_empty_tracer(self):
         assert "(no spans" in render_flamegraph(SpanTracer())
+
+
+class TestUnfinishedSpanExport:
+    """Satellite of the flight-recorder issue: a tracer frozen
+    mid-span (crash, post-mortem snapshot) must still export a
+    schema-valid trace when asked."""
+
+    def crashed_tracer(self):
+        # trailing 4.0s feed now() and the GC-time close of the
+        # abandoned spans once the test ends
+        tracer = SpanTracer(pid=1, tid=1,
+                            clock=fake_clock([0.0, 1.0, 2.0, 3.0]
+                                             + [4.0] * 6))
+        with tracer.span("done"):
+            pass
+        # hold the managers: these spans never close
+        outer = tracer.span("campaign", run=7)
+        inner = tracer.span("cell")
+        outer.__enter__()
+        inner.__enter__()
+        return tracer, (outer, inner)
+
+    def test_default_export_skips_open_spans(self):
+        tracer, _keepalive = self.crashed_tracer()
+        events = to_trace_events(tracer)
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        assert names == ["done"]
+        assert validate_trace_events(tracer.to_perfetto()) == []
+
+    def test_unfinished_export_is_schema_valid(self):
+        tracer, _keepalive = self.crashed_tracer()
+        doc = tracer.to_perfetto(unfinished=True)
+        assert validate_trace_events(doc) == []
+        events = json.loads(doc)["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert names == {"done", "campaign", "cell"}
+
+    def test_open_spans_are_marked_and_end_at_dump_time(self):
+        tracer, _keepalive = self.crashed_tracer()
+        events = to_trace_events(tracer, unfinished=True)
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["campaign"]["args"] == {"run": 7,
+                                               "unfinished": True}
+        assert by_name["cell"]["args"] == {"unfinished": True}
+        assert "unfinished" not in by_name["done"]["args"]
+        # synthetic end = dump time (clock now 4.0): starts 2.0/3.0
+        assert by_name["campaign"]["dur"] == pytest.approx(2e6)
+        assert by_name["cell"]["dur"] == pytest.approx(1e6)
+        assert by_name["campaign"]["dur"] >= 0
+        assert by_name["cell"]["dur"] >= 0
+
+    def test_open_spans_property_is_outermost_first(self):
+        tracer, _keepalive = self.crashed_tracer()
+        assert [s.name for s in tracer.open_spans] == \
+            ["campaign", "cell"]
+
+    def test_clean_tracer_unchanged_by_the_flag(self):
+        tracer = SpanTracer(pid=1, tid=1,
+                            clock=fake_clock([0.0, 1.0]))
+        with tracer.span("only"):
+            pass
+        assert tracer.open_spans == []
+        assert tracer.to_perfetto(unfinished=True) == \
+            tracer.to_perfetto()
+
+    def test_write_perfetto_unfinished(self, tmp_path):
+        tracer, _keepalive = self.crashed_tracer()
+        path = tmp_path / "crash_trace.json"
+        tracer.write_perfetto(str(path), unfinished=True)
+        doc = path.read_text(encoding="utf-8")
+        assert validate_trace_events(doc) == []
+        assert '"unfinished": true' in doc
