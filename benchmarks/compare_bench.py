@@ -56,6 +56,13 @@ METRICS = {
         Metric("fig3_activations", "exact"),
         Metric("e18_histogram", "exact"),
     ],
+    "BENCH_translate.json": [
+        # translated tier vs run_block: run-to-run ratio noise exceeds
+        # a relative band, so gate on the acceptance floor — and the
+        # E18 histogram under translation must never move
+        Metric("speedup_vs_block", "floor", tol=2.0),
+        Metric("e18_histogram", "exact"),
+    ],
     "BENCH_sweep.json": [
         Metric("warm_fraction", "lower"),
         Metric("speedup_parallel4", "higher", min_cpus=4),

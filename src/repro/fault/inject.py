@@ -165,6 +165,7 @@ class FaultInjector:
     def __init__(self, system: System) -> None:
         self.system = system
         self.armed: List[FaultSpec] = []
+        self._hooks: List[tuple] = []
 
     def arm(self, spec: FaultSpec) -> None:
         """Install the hook for one fault; raises
@@ -198,7 +199,9 @@ class FaultInjector:
                 raise InjectionError(
                     f"cpu_reg_flip: no register r{spec.index}"
                 )
-            system.cpu.observers.append(_CpuSaboteur(system.cpu, spec))
+            saboteur = _CpuSaboteur(system.cpu, spec)
+            system.cpu.observers.append(saboteur)
+            self._hooks.append(("cpu", saboteur))
         elif spec.kind.startswith("msg_"):
             channel = system.channels.get(spec.target)
             if channel is None:
@@ -206,12 +209,35 @@ class FaultInjector:
                     f"no channel {spec.target!r}; have "
                     f"{sorted(system.channels)}"
                 )
-            _MessageSaboteur(channel, spec)
+            self._hooks.append(("msg", _MessageSaboteur(channel, spec)))
         else:  # proc_spin
             system.sim.process(
                 _spin_later(system, spec), name=f"fault.{spec.target}"
             )
         self.armed.append(spec)
+
+    def disarm(self) -> None:
+        """Remove every hook :meth:`arm` installed that is removable
+        without rewinding the simulator.
+
+        CPU saboteurs leave ``cpu.observers`` — which re-engages
+        whichever fast tier the CPU has (the interpreted block loop
+        *and* the translated tier, see DESIGN §13) on the very next
+        ``run_block`` call; message saboteurs unwrap, restoring the
+        channel's original ``send`` even when several were stacked.
+        Time-triggered saboteur *processes* (``signal_flip``,
+        ``reg_flip``, ``proc_spin``) already belong to the kernel's
+        run queue and are left to expire on their own.  Idempotent.
+        """
+        cpu = self.system.cpu
+        for kind, hook in reversed(self._hooks):
+            if kind == "cpu":
+                if cpu is not None and hook in cpu.observers:
+                    cpu.observers.remove(hook)
+            else:  # msg: unwrap LIFO so stacked wrappers unchain
+                hook.channel.send = hook.orig_send
+        self._hooks.clear()
+        self.armed.clear()
 
 
 def arm_fault(system: System, spec: FaultSpec) -> FaultInjector:

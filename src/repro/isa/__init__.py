@@ -15,12 +15,22 @@ processor end to end:
   R32 assembly (the same behaviors high-level synthesis lowers to
   hardware, enabling true co-verification);
 * :mod:`repro.isa.profiler` — execution profiling for hot-spot-driven
-  partitioning and custom-instruction mining.
+  partitioning and custom-instruction mining;
+* :mod:`repro.isa.translate` — the block-translation execution tier:
+  hot basic blocks compiled to specialized Python closures, proven
+  equivalent to ``step()``/``run_block()`` (DESIGN §13).
 """
 
 from repro.isa.instructions import Instruction, Isa, Opcode
 from repro.isa.assembler import AssemblerError, assemble
 from repro.isa.cpu import Cpu, CpuError, Memory
+from repro.isa.translate import (
+    BlockTranslator,
+    auto_translation,
+    disable_auto_translation,
+    enable_auto_translation,
+    install,
+)
 
 __all__ = [
     "Isa",
@@ -31,4 +41,9 @@ __all__ = [
     "Cpu",
     "Memory",
     "CpuError",
+    "BlockTranslator",
+    "install",
+    "auto_translation",
+    "enable_auto_translation",
+    "disable_auto_translation",
 ]

@@ -1,0 +1,603 @@
+"""The block-translation execution tier: hot basic blocks as closures.
+
+This is the third R32 execution engine, above ``step()`` (the
+reference interpreter) and ``Cpu._run_block_fast`` (the pre-decoded
+operand-cache loop).  A :class:`BlockTranslator` compiles each hot
+basic block — a maximal straight-line run of instructions ending at
+the first control transfer — into one specialized Python function:
+operands are pre-resolved to direct ``regs[i]`` subscripts (``r0``
+folds to literal zeros, ``lui``/``addi r, r0`` to constants), cycle
+accounting is fused into compile-time prefix sums, and the dispatch
+chain of the interpreter disappears entirely.  Executing a block is
+one function call instead of one interpreter iteration per
+instruction.
+
+The tier is governed by the DESIGN.md §9/§13 equivalence contract —
+**a fast path may move host time, never model results** — and keeps it
+the same way ``run_block`` does:
+
+* **Observers force the slow path.**  ``Cpu.run_block`` dispatches to
+  the translator only when ``cpu.observers`` is empty, so profilers,
+  fault saboteurs, and trace hooks always see instruction-granular
+  execution.  Detaching the last observer re-engages the translated
+  tier on the next call; there is no sticky disabled state.
+* **Interrupts hit the same boundaries.**  The dispatcher checks the
+  IRQ lines between blocks, and translated code re-checks after every
+  instruction whose side effects could raise one mid-block (memory
+  accesses through device regions, custom-op semantics) — exactly the
+  points where the interpreted loop's per-instruction check could
+  observe a new ``irq_pending``.
+* **External accesses defer identically.**  A load/store that hits an
+  external region sets ``cpu._pending`` with the same ``(pc, instr,
+  access)`` triple, the same un-advanced ``pc``, and the same counter
+  state as the interpreter, then surfaces the
+  :class:`~repro.isa.cpu.ExternalAccess` out of ``run_block``.
+* **Errors carry the same message at the same state.**  Translated
+  code commits architectural state *before* every faultable operation
+  (div/mod, memory, custom semantics), so a ``CpuError`` propagates
+  with the identical boundary snapshot the interpreter's ``finally``
+  would leave.
+
+The block cache is keyed by ``(pc, Isa.version, code words)``: blocks
+are stored per entry ``pc``; :attr:`Isa.version` invalidates the whole
+cache on ``add_custom`` or cycle-table edits; and the code words are
+guarded by a write-watch — :class:`~repro.isa.cpu.Memory` bumps its
+``code_version`` whenever a store or ``load_image`` touches an address
+covered by translated code, from *any* tier (so self-modifying stores
+executed under observers still invalidate), and translated stores
+additionally early-exit their own block when they rewrite it.  RAM
+mutations that bypass ``Memory.write``/``load_image`` (direct pokes at
+the ``ram`` dict) are outside the contract.
+
+Budget exactness: the backplane's ``batch_instructions`` budget is a
+step-equivalent count, so a block longer than the remaining budget is
+never run translated — the dispatcher hands the exact remainder to the
+interpreted fast tier instead, preserving the precise sequence of
+timeouts and adapter activations at any batch size.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa import cpu as _cpu_mod
+from repro.isa.cpu import Cpu, CpuError, ExternalAccess, _Defer
+from repro.isa.instructions import Instruction, MASK32
+
+__all__ = [
+    "BlockTranslator",
+    "install",
+    "enable_auto_translation",
+    "disable_auto_translation",
+    "auto_translation",
+]
+
+#: Longest translated block, in instructions.
+MAX_BLOCK_LEN = 64
+#: Block-cache entries before the cache is dropped wholesale.
+MAX_BLOCKS = 1024
+#: Entries into a block before it is compiled (1 = translate eagerly).
+DEFAULT_HOT_THRESHOLD = 2
+
+# exit flags in the low 3 bits of a translated function's return value
+# (the high bits carry the step count, so most returns are baked-in
+# integer literals)
+_END = 0     # block ran to its terminator or fell off its end
+_IRQ = 1     # an enabled interrupt became pending mid-block
+_SMC = 2     # a store rewrote this block's own code
+_DEFER = 3   # an external access deferred (cpu._pending is set)
+_HALT = 4    # halt retired
+
+#: Opcodes that end a basic block.
+_TERMINATORS = frozenset(
+    (0x40, 0x41, 0x42, 0x43, 0x50, 0x51, 0x52, 0x60, 0x7F)
+)
+
+_M = MASK32  # literal spelled into generated source
+_SIGN = 0x80000000
+_WRAP = 0x100000000
+
+
+def _reg(index: int) -> str:
+    """Operand source text with r0 pre-resolved to a literal zero."""
+    return f"regs[{index}]" if index else "0"
+
+
+def _signed_lines(var: str, out: List[str], indent: str) -> None:
+    out.append(
+        f"{indent}{var} = {var} - {_WRAP} if {var} & {_SIGN} else {var}"
+    )
+
+
+class BlockTranslator:
+    """Attach to a :class:`~repro.isa.cpu.Cpu` as its translated tier.
+
+    ``cpu.run_block`` dispatches here whenever no observers are armed;
+    :meth:`execute` is observably identical to the interpreted tiers
+    (enforced by ``tests/isa/test_translate.py``).  Construction is
+    cheap and touches nothing but ``memory.code_watch``; blocks are
+    scanned on first entry and compiled once entered
+    ``hot_threshold`` times.
+    """
+
+    def __init__(
+        self,
+        cpu: Cpu,
+        hot_threshold: int = DEFAULT_HOT_THRESHOLD,
+        max_blocks: int = MAX_BLOCKS,
+        max_block_len: int = MAX_BLOCK_LEN,
+    ) -> None:
+        if hot_threshold < 1:
+            raise ValueError("hot_threshold must be >= 1")
+        self.cpu = cpu
+        self.hot_threshold = hot_threshold
+        self.max_blocks = max_blocks
+        self.max_block_len = max_block_len
+        #: pc -> (fn, length, memory.code_version at translation)
+        self._blocks: Dict[int, Tuple] = {}
+        self._counts: Dict[int, int] = {}
+        self._isa_version = cpu.isa.version
+        #: blocks compiled over the translator's lifetime
+        self.translations = 0
+        #: whole-cache drops (ISA mutation or capacity)
+        self.invalidations = 0
+        #: mid-block early exits (self-modifying store or IRQ)
+        self.early_exits = 0
+        if cpu.memory.code_watch is None:
+            cpu.memory.code_watch = set()
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockTranslator(blocks={len(self._blocks)}, "
+            f"translations={self.translations}, "
+            f"hot_threshold={self.hot_threshold})"
+        )
+
+    @property
+    def block_count(self) -> int:
+        """Live entries in the block cache."""
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, max_steps: int
+    ) -> Tuple[int, int, Optional[ExternalAccess]]:
+        """:meth:`Cpu.run_block` semantics over translated blocks.
+
+        Returns the same ``(steps, cycles, access)`` triple with the
+        same counting rules — IRQ-entry cycles are returned to the
+        caller but never charged into ``cycle_count``, a deferred
+        access counts one step and leaves the CPU frozen.  Falls back
+        to the interpreted fast tier for cold blocks and for blocks
+        longer than the remaining step budget.
+        """
+        cpu = self.cpu
+        if cpu.halted or max_steps <= 0:
+            return 0, 0, None
+        if cpu._pending is not None:
+            raise CpuError("run_block() while an external access is pending")
+        isa = cpu.isa
+        memory = cpu.memory
+        if self._isa_version != isa.version:
+            self._blocks.clear()
+            self._counts.clear()
+            self._isa_version = isa.version
+            self.invalidations += 1
+        blocks = self._blocks
+        counts = self._counts
+        regs = cpu.regs
+        steps = 0
+        extra = 0  # IRQ-entry cycles: returned, never in cycle_count
+        cycles0 = cpu.cycle_count
+        while steps < max_steps:
+            if cpu.irq_pending and cpu.irq_enabled:
+                extra += cpu._take_irq()
+                steps += 1
+                continue
+            pc = cpu.pc
+            entry = blocks.get(pc)
+            if entry is not None and entry[2] == memory.code_version:
+                if entry[1] > max_steps - steps:
+                    # not enough budget for the whole block: hand the
+                    # exact remainder to the interpreted tier
+                    before = cpu.cycle_count
+                    s, c, access = cpu._run_block_fast(max_steps - steps)
+                    steps += s
+                    extra += c - (cpu.cycle_count - before)
+                    if access is not None:
+                        return (steps, cpu.cycle_count - cycles0 + extra,
+                                access)
+                    if cpu.halted:
+                        break
+                    continue
+                res = entry[0](
+                    cpu, regs, memory, cpu.instr_count, cpu.cycle_count
+                )
+                steps += res >> 3
+                flag = res & 7
+                if flag == _END:
+                    continue
+                if flag == _HALT:
+                    break
+                if flag == _DEFER:
+                    return (steps, cpu.cycle_count - cycles0 + extra,
+                            cpu._pending[2])
+                self.early_exits += 1  # _IRQ or _SMC: re-dispatch
+                continue
+            # cold block, or stale after a code-watch bump
+            instrs, addrs = self._scan(pc)
+            if not instrs:
+                self._raise_fetch_error(pc)
+            hits = counts.get(pc, 0) + 1
+            counts[pc] = hits
+            if entry is not None or hits >= self.hot_threshold:
+                blocks[pc] = self._compile(pc, instrs, addrs)
+                continue
+            before = cpu.cycle_count
+            s, c, access = cpu._run_block_fast(
+                min(len(instrs), max_steps - steps)
+            )
+            steps += s
+            extra += c - (cpu.cycle_count - before)
+            if access is not None:
+                return steps, cpu.cycle_count - cycles0 + extra, access
+            if cpu.halted:
+                break
+        return steps, cpu.cycle_count - cycles0 + extra, None
+
+    # ------------------------------------------------------------------
+    # block formation
+    # ------------------------------------------------------------------
+    def _scan(self, pc: int) -> Tuple[List[Instruction], List[int]]:
+        """Decode the basic block entered at ``pc`` straight from RAM.
+
+        Stops at the first control transfer (inclusive), at an
+        unprogrammed or undecodable word (exclusive), or at
+        ``max_block_len``.
+        """
+        ram_get = self.cpu.memory.ram.get
+        decode = self.cpu.isa.decode
+        instrs: List[Instruction] = []
+        addrs: List[int] = []
+        limit = self.max_block_len
+        while len(instrs) < limit:
+            word = ram_get(pc)
+            if word is None:
+                break
+            try:
+                instr = decode(word)
+            except ValueError:
+                break
+            instrs.append(instr)
+            addrs.append(pc)
+            if instr.opcode in _TERMINATORS:
+                break
+            pc += 1
+        return instrs, addrs
+
+    def _raise_fetch_error(self, pc: int) -> None:
+        """Reproduce the interpreter's fetch/decode error exactly."""
+        word = self.cpu.memory.ram.get(pc)
+        if word is None:
+            raise CpuError(f"fetch from unprogrammed address {pc:#x}")
+        try:
+            self.cpu.isa.decode(word)
+        except ValueError as exc:
+            raise CpuError(f"pc={pc:#x}: {exc}") from None
+        raise AssertionError(  # pragma: no cover - scan() mirrors decode
+            f"block scan rejected decodable word at {pc:#x}"
+        )
+
+    # ------------------------------------------------------------------
+    # code generation
+    # ------------------------------------------------------------------
+    def _compile(
+        self, pc0: int, instrs: List[Instruction], addrs: List[int]
+    ) -> Tuple:
+        """Compile one scanned block into its specialized function."""
+        if len(self._blocks) >= self.max_blocks:
+            self._blocks.clear()
+            self._counts.clear()
+            self.invalidations += 1
+        cpu = self.cpu
+        isa = cpu.isa
+        table = isa.cycle_table()
+        # compile-time cycle prefix sums: cyc[k] = cycles retired
+        # before instruction k
+        cyc = [0]
+        for instr in instrs:
+            cyc.append(cyc[-1] + table[instr.opcode])
+        namespace = {
+            "_Defer": _Defer,
+            "_div": Cpu._div,
+            "_mod": Cpu._mod,
+            "INSTRS": tuple(instrs),
+            "ADDRS": frozenset(addrs),
+        }
+        lines = [
+            f"def _block_{pc0 & _M:x}(cpu, regs, memory, i0, c0):",
+        ]
+        for k, (instr, pc) in enumerate(zip(instrs, addrs)):
+            self._emit(lines, namespace, k, pc, instr, cyc)
+        last = instrs[-1]
+        if last.opcode not in _TERMINATORS:
+            # fell off the scanned end (length cap or untranslatable
+            # next word): commit and let the dispatcher continue
+            k = len(instrs)
+            lines.append(f"    cpu.pc = {addrs[-1] + 1}")
+            lines.append(f"    cpu.instr_count = i0 + {k}")
+            lines.append(f"    cpu.cycle_count = c0 + {cyc[k]}")
+            lines.append(f"    return {k * 8 + _END}")
+        source = "\n".join(lines)
+        code = compile(source, f"<r32-block@{pc0:#x}>", "exec")
+        exec(code, namespace)
+        fn = namespace[f"_block_{pc0 & _M:x}"]
+        self.translations += 1
+        cpu.memory.code_watch.update(addrs)
+        return (fn, len(instrs), cpu.memory.code_version)
+
+    def _emit(
+        self,
+        out: List[str],
+        namespace: dict,
+        k: int,
+        pc: int,
+        instr: Instruction,
+        cyc: List[int],
+    ) -> None:
+        """Append the source lines for instruction ``k`` at ``pc``."""
+        isa = self.cpu.isa
+        op = instr.opcode
+        rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+        a, b = _reg(rs1), _reg(rs2)
+        k1 = k + 1
+        out.append(f"    # {pc:#x}: {isa.disassemble(instr)}")
+
+        def commit_here() -> None:
+            """State the interpreter exposes before a faultable op."""
+            out.append(
+                f"    cpu.pc = {pc}; cpu.instr_count = i0 + {k}; "
+                f"cpu.cycle_count = c0 + {cyc[k]}"
+            )
+
+        def exit_next(flag: int, indent: str = "    ") -> None:
+            """Early exit with instruction ``k`` retired."""
+            out.append(
+                f"{indent}cpu.pc = {pc + 1}; "
+                f"cpu.instr_count = i0 + {k1}; "
+                f"cpu.cycle_count = c0 + {cyc[k1]}"
+            )
+            out.append(f"{indent}return {k1 * 8 + flag}")
+
+        def irq_recheck() -> None:
+            """Mirror the interpreter's per-instruction IRQ check
+            after an op whose side effects may raise one."""
+            out.append("    if cpu.irq_pending and cpu.irq_enabled:")
+            exit_next(_IRQ, "        ")
+
+        custom = isa.custom(op)
+        if custom is not None:
+            cname = f"C{k}"
+            namespace[cname] = custom.semantics
+            commit_here()
+            call = f"{cname}({a}, {b}) & {_M}"
+            out.append(f"    {f'regs[{rd}] = ' if rd else ''}{call}")
+            irq_recheck()
+        elif op == 0x20:  # ADDI
+            if rd:
+                if rs1:
+                    out.append(f"    regs[{rd}] = ({a} + {imm}) & {_M}")
+                else:
+                    out.append(f"    regs[{rd}] = {imm & _M}")
+        elif op == 0x01:  # ADD
+            if rd:
+                out.append(f"    regs[{rd}] = ({a} + {b}) & {_M}")
+        elif op == 0x02:  # SUB
+            if rd:
+                out.append(f"    regs[{rd}] = ({a} - {b}) & {_M}")
+        elif op == 0x03:  # MUL
+            if rd:
+                out.append(f"    regs[{rd}] = ({a} * {b}) & {_M}")
+        elif op in (0x04, 0x05):  # DIV / MOD
+            fn = "_div" if op == 0x04 else "_mod"
+            commit_here()
+            call = f"{fn}({a}, {b}) & {_M}"
+            out.append(f"    {f'regs[{rd}] = ' if rd else ''}{call}")
+        elif op == 0x06:  # AND
+            if rd:
+                out.append(f"    regs[{rd}] = {a} & {b}")
+        elif op == 0x07:  # OR
+            if rd:
+                out.append(f"    regs[{rd}] = {a} | {b}")
+        elif op == 0x08:  # XOR
+            if rd:
+                out.append(f"    regs[{rd}] = {a} ^ {b}")
+        elif op == 0x09:  # SLL
+            if rd:
+                out.append(
+                    f"    regs[{rd}] = ({a} << ({b} & 31)) & {_M}"
+                )
+        elif op == 0x0A:  # SRL
+            if rd:
+                out.append(
+                    f"    regs[{rd}] = ({a} & {_M}) >> ({b} & 31)"
+                )
+        elif op == 0x0B:  # SRA
+            if rd:
+                out.append(f"    _a = {a}")
+                _signed_lines("_a", out, "    ")
+                out.append(
+                    f"    regs[{rd}] = (_a >> ({b} & 31)) & {_M}"
+                )
+        elif op == 0x0C:  # SLT
+            if rd:
+                out.append(f"    _a = {a}")
+                out.append(f"    _b = {b}")
+                _signed_lines("_a", out, "    ")
+                _signed_lines("_b", out, "    ")
+                out.append(f"    regs[{rd}] = 1 if _a < _b else 0")
+        elif op == 0x0D:  # SLTU
+            if rd:
+                out.append(
+                    f"    regs[{rd}] = "
+                    f"1 if ({a} & {_M}) < ({b} & {_M}) else 0"
+                )
+        elif op == 0x21:  # ANDI
+            if rd:
+                out.append(f"    regs[{rd}] = {a} & {imm & 0xFFFF}")
+        elif op == 0x22:  # ORI
+            if rd:
+                out.append(
+                    f"    regs[{rd}] = ({a} | {imm & 0xFFFF}) & {_M}"
+                )
+        elif op == 0x23:  # XORI
+            if rd:
+                out.append(
+                    f"    regs[{rd}] = ({a} ^ {imm & 0xFFFF}) & {_M}"
+                )
+        elif op == 0x24:  # SLLI
+            if rd:
+                out.append(
+                    f"    regs[{rd}] = ({a} << {imm & 31}) & {_M}"
+                )
+        elif op == 0x25:  # SRLI
+            if rd:
+                out.append(
+                    f"    regs[{rd}] = ({a} & {_M}) >> {imm & 31}"
+                )
+        elif op == 0x26:  # SLTI
+            if rd:
+                out.append(f"    _a = {a}")
+                _signed_lines("_a", out, "    ")
+                out.append(f"    regs[{rd}] = 1 if _a < {imm} else 0")
+        elif op == 0x27:  # LUI
+            if rd:
+                out.append(f"    regs[{rd}] = {((imm & 0xFFFF) << 16) & _M}")
+        elif op == 0x30:  # LW
+            commit_here()
+            addr = f"{a} + {imm}" if rs1 else f"{imm}"
+            out.append("    try:")
+            if rd:
+                out.append(f"        _v = memory.read({addr}) & {_M}")
+            else:
+                out.append(f"        memory.read({addr})")
+            out.append("    except _Defer as _d:")
+            out.append(
+                f"        cpu._pending = ({pc}, INSTRS[{k}], _d.access)"
+            )
+            out.append(f"        return {k1 * 8 + _DEFER}")
+            if rd:
+                out.append(f"    regs[{rd}] = _v")
+            irq_recheck()
+        elif op == 0x31:  # SW
+            commit_here()
+            if rs1:
+                out.append(f"    _wa = ({a} + {imm}) & {_M}")
+            else:
+                out.append(f"    _wa = {imm & _M}")
+            out.append("    try:")
+            out.append(f"        memory.write(_wa, {_reg(rd)})")
+            out.append("    except _Defer as _d:")
+            out.append(
+                f"        cpu._pending = ({pc}, INSTRS[{k}], _d.access)"
+            )
+            out.append(f"        return {k1 * 8 + _DEFER}")
+            out.append("    if _wa in ADDRS:")
+            exit_next(_SMC, "        ")
+            irq_recheck()
+        elif 0x40 <= op <= 0x43:  # BEQ/BNE/BLT/BGE
+            lhs = _reg(rd)
+            out.append(f"    _l = {lhs}")
+            out.append(f"    _a = {a}")
+            if op in (0x42, 0x43):
+                _signed_lines("_l", out, "    ")
+                _signed_lines("_a", out, "    ")
+            cond = {0x40: "==", 0x41: "!=", 0x42: "<", 0x43: ">="}[op]
+            out.append(f"    if _l {cond} _a:")
+            out.append(f"        cpu.pc = {pc + 1 + imm}")
+            out.append(f"        cpu.cycle_count = c0 + {cyc[k1] + 1}")
+            out.append("    else:")
+            out.append(f"        cpu.pc = {pc + 1}")
+            out.append(f"        cpu.cycle_count = c0 + {cyc[k1]}")
+            out.append(f"    cpu.instr_count = i0 + {k1}")
+            out.append(f"    return {k1 * 8 + _END}")
+        elif op == 0x50:  # J
+            out.append(f"    cpu.pc = {imm}")
+            out.append(f"    cpu.instr_count = i0 + {k1}")
+            out.append(f"    cpu.cycle_count = c0 + {cyc[k1]}")
+            out.append(f"    return {k1 * 8 + _END}")
+        elif op == 0x51:  # JAL
+            out.append(f"    regs[15] = {(pc + 1) & _M}")
+            out.append(f"    cpu.pc = {imm}")
+            out.append(f"    cpu.instr_count = i0 + {k1}")
+            out.append(f"    cpu.cycle_count = c0 + {cyc[k1]}")
+            out.append(f"    return {k1 * 8 + _END}")
+        elif op == 0x52:  # JR
+            out.append(f"    cpu.pc = {a}")
+            out.append(f"    cpu.instr_count = i0 + {k1}")
+            out.append(f"    cpu.cycle_count = c0 + {cyc[k1]}")
+            out.append(f"    return {k1 * 8 + _END}")
+        elif op == 0x60:  # RETI
+            out.append("    cpu.irq_enabled = True")
+            out.append("    cpu.pc = cpu.epc")
+            out.append(f"    cpu.instr_count = i0 + {k1}")
+            out.append(f"    cpu.cycle_count = c0 + {cyc[k1]}")
+            out.append(f"    return {k1 * 8 + _END}")
+        elif op == 0x7F:  # HALT
+            out.append("    cpu.halted = True")
+            out.append(f"    cpu.pc = {pc}")
+            out.append(f"    cpu.instr_count = i0 + {k1}")
+            out.append(f"    cpu.cycle_count = c0 + {cyc[k1]}")
+            out.append(f"    return {k1 * 8 + _HALT}")
+        else:  # pragma: no cover - decode guarantees known opcodes
+            raise CpuError(f"unimplemented opcode {op:#x}")
+
+
+# ----------------------------------------------------------------------
+# installation helpers
+# ----------------------------------------------------------------------
+def install(cpu: Cpu, **kwargs) -> BlockTranslator:
+    """Attach a translated tier to one CPU; returns the translator."""
+    translator = BlockTranslator(cpu, **kwargs)
+    cpu.translator = translator
+    return translator
+
+
+def enable_auto_translation(**kwargs) -> None:
+    """Give every subsequently constructed :class:`Cpu` a translated
+    tier (scenario builders, campaigns, and examples construct their
+    own CPUs — this is the fleet-wide switch the byte-identity
+    acceptance tests toggle).  ``kwargs`` forward to
+    :class:`BlockTranslator`."""
+    _cpu_mod._FACTORY_RESOLVED = True
+    if kwargs:
+        _cpu_mod._TRANSLATOR_FACTORY = (
+            lambda cpu: BlockTranslator(cpu, **kwargs)
+        )
+    else:
+        _cpu_mod._TRANSLATOR_FACTORY = BlockTranslator
+
+
+def disable_auto_translation() -> None:
+    """New CPUs get no translated tier (the seed default)."""
+    _cpu_mod._FACTORY_RESOLVED = True
+    _cpu_mod._TRANSLATOR_FACTORY = None
+
+
+@contextlib.contextmanager
+def auto_translation(enabled: bool = True, **kwargs):
+    """Scoped :func:`enable_auto_translation` /
+    :func:`disable_auto_translation`, restoring the previous factory —
+    how tests compare whole subsystems translation-on vs -off."""
+    saved = (_cpu_mod._FACTORY_RESOLVED, _cpu_mod._TRANSLATOR_FACTORY)
+    try:
+        if enabled:
+            enable_auto_translation(**kwargs)
+        else:
+            disable_auto_translation()
+        yield
+    finally:
+        _cpu_mod._FACTORY_RESOLVED, _cpu_mod._TRANSLATOR_FACTORY = saved

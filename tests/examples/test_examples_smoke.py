@@ -49,6 +49,7 @@ def test_every_example_is_covered():
     assert "design_explore.py" in EXAMPLES
 
 
+@pytest.mark.slow  # subprocess per example: the smoke lane skips
 @pytest.mark.parametrize("name", EXAMPLES)
 def test_smoke_runs_clean(name, tmp_path):
     extra = []

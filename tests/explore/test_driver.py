@@ -61,6 +61,7 @@ class TestDeterminism:
         assert explore(SPEC_2D, workers=1).to_json() == \
             explore(SPEC_2D, workers=2).to_json()
 
+    @pytest.mark.slow
     def test_ga_seed_changes_the_search(self, baseline_json):
         import dataclasses
         reseeded = dataclasses.replace(SPEC_3D, ga_seed=1)
@@ -68,6 +69,7 @@ class TestDeterminism:
 
 
 class TestCacheClosure:
+    @pytest.mark.slow
     def test_warm_run_recomputes_nothing(self, tmp_path,
                                          baseline_json):
         cache = ResultCache(tmp_path / "cache")
@@ -84,6 +86,7 @@ class TestCacheClosure:
         assert "explore.genomes.computed" not in counters
         assert counters["explore.cache.hits"] > 0
 
+    @pytest.mark.slow
     def test_store_mode_matches_cache_mode(self, tmp_path,
                                            baseline_json):
         store = CampaignStore(tmp_path / "dse.sqlite")

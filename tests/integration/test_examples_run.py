@@ -75,6 +75,7 @@ EXAMPLE_ARGS = {
 }
 
 
+@pytest.mark.slow  # subprocess per example: the smoke lane skips
 @pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
 def test_example_runs(name):
     proc = run_example(name, *EXAMPLE_ARGS.get(name, []))

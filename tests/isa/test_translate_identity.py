@@ -1,0 +1,157 @@
+"""Cross-engine byte-identity acceptance tests for the translated tier.
+
+The whole-subsystem form of the DESIGN §13 contract: not just single
+CPUs, but the E18 fault-campaign dependability table and an E21
+``explore()`` front must serialize to *byte-identical* JSON with the
+block translator enabled, disabled, and with a warm vs cold block
+cache.  Fleet-wide enablement goes through
+:func:`repro.isa.translate.auto_translation`, the same switch the
+benchmarks and the ``REPRO_TRANSLATE`` environment hook use — so these
+tests also pin that scenario builders constructing their own CPUs
+(``coproc`` builds one internally) actually pick the translator up.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.explore import ExploreSpec, explore
+from repro.fault import SCENARIOS, run_campaign, sample_faults
+from repro.fault.scenarios import run_scenario
+from repro.isa.translate import auto_translation
+
+pytestmark = pytest.mark.slow  # whole-subsystem runs: smoke lane skips
+
+CAMPAIGN_FAULTS = 48  # smaller than E18's 200 for test budget; the
+CAMPAIGN_SEED = 7     # full-size E18 gate lives in BENCH_translate
+
+#: A smoke-sized E21 spec (the full SPEC_3D shape, scaled down).
+SMOKE_SPEC = ExploreSpec(population=4, generations=2,
+                         scenario="coproc", scenario_faults=6)
+
+
+def campaign_json(enabled):
+    faults = sample_faults(
+        SCENARIOS["coproc"].targets, CAMPAIGN_FAULTS, seed=CAMPAIGN_SEED
+    )
+    with auto_translation(enabled):
+        return run_campaign("coproc", faults, workers=1).to_json()
+
+
+class TestCampaignIdentity:
+    def test_e18_table_byte_identical_translation_on_off(self):
+        assert campaign_json(True) == campaign_json(False)
+
+    def test_e18_table_byte_identical_warm_vs_cold(self):
+        """Back-to-back campaigns under one enablement: the second run
+        re-enters already-translated scenarios and must not drift."""
+        faults = sample_faults(
+            SCENARIOS["coproc"].targets, CAMPAIGN_FAULTS,
+            seed=CAMPAIGN_SEED,
+        )
+        with auto_translation(True):
+            cold = run_campaign("coproc", faults, workers=1).to_json()
+            warm = run_campaign("coproc", faults, workers=1).to_json()
+        assert cold == warm
+
+    def test_eager_translation_identical_to_default_threshold(self):
+        """hot_threshold=1 forces every block through the translator
+        (no cold-path delegation warm-up) — same bytes."""
+        faults = sample_faults(
+            SCENARIOS["coproc"].targets, 16, seed=CAMPAIGN_SEED
+        )
+        with auto_translation(True, hot_threshold=1):
+            eager = run_campaign("coproc", faults, workers=1).to_json()
+        with auto_translation(True):
+            default = run_campaign("coproc", faults, workers=1).to_json()
+        assert eager == default
+
+
+class TestScenarioIdentity:
+    @pytest.mark.parametrize("name", ["coproc", "msgpipe"])
+    def test_golden_record_identical(self, name):
+        with auto_translation(False):
+            off = run_scenario(name)
+        with auto_translation(True, hot_threshold=1):
+            on = run_scenario(name)
+        assert off == on
+
+    def test_faulted_record_identical(self):
+        faults = sample_faults(SCENARIOS["coproc"].targets, 6, seed=3)
+        for fault in faults:
+            with auto_translation(False):
+                off = run_scenario("coproc", fault)
+            with auto_translation(True, hot_threshold=1):
+                on = run_scenario("coproc", fault)
+            assert off == on, fault
+
+
+class TestExploreIdentity:
+    def test_e21_front_byte_identical_translation_on_off(self):
+        with auto_translation(False):
+            off = explore(SMOKE_SPEC, workers=1).to_json()
+        with auto_translation(True):
+            on = explore(SMOKE_SPEC, workers=1).to_json()
+        assert on == off
+
+    def test_e21_front_byte_identical_warm_vs_cold(self):
+        with auto_translation(True):
+            cold = explore(SMOKE_SPEC, workers=1).to_json()
+            warm = explore(SMOKE_SPEC, workers=1).to_json()
+        assert cold == warm
+
+    def test_reseeded_spec_still_identical_on_off(self):
+        spec = dataclasses.replace(SMOKE_SPEC, ga_seed=1)
+        with auto_translation(False):
+            off = explore(spec, workers=1).to_json()
+        with auto_translation(True):
+            on = explore(spec, workers=1).to_json()
+        assert on == off
+
+
+class TestEnvironmentHook:
+    def test_repro_translate_env_var_enables_fleet_wide(self):
+        """``REPRO_TRANSLATE=1`` in a fresh interpreter must give every
+        CPU a translator and still produce the reference golden record."""
+        snippet = (
+            "import json, sys\n"
+            "from repro.fault.scenarios import run_scenario\n"
+            "from repro.isa import Cpu, Isa\n"
+            "assert Cpu(Isa()).translator is not None\n"
+            "json.dump(run_scenario('coproc'), sys.stdout,\n"
+            "          sort_keys=True)\n"
+        )
+        env = dict(os.environ, REPRO_TRANSLATE="1")
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, env=env, cwd=os.getcwd(),
+            check=True,
+        )
+        with auto_translation(False):
+            reference = run_scenario("coproc")
+        assert json.loads(proc.stdout) == json.loads(
+            json.dumps(reference, sort_keys=True)
+        )
+
+    def test_env_var_off_means_no_translator(self):
+        snippet = (
+            "from repro.isa import Cpu, Isa\n"
+            "assert Cpu(Isa()).translator is None\n"
+        )
+        env = dict(os.environ)
+        env.pop("REPRO_TRANSLATE", None)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, env=env, cwd=os.getcwd(),
+            check=True,
+        )

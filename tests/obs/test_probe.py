@@ -51,6 +51,7 @@ class TestEveryHeuristicReports:
             assert isinstance(record.best_cost, float)
             assert isinstance(record.accepted, bool)
 
+    @pytest.mark.slow
     def test_probe_does_not_perturb_the_result(self, name):
         problem = make_problem(heuristic=name)
         bare = HEURISTICS[name](problem, seed=1)

@@ -43,6 +43,7 @@ def case_config(case_rng: random.Random, heuristic: str) -> SweepConfig:
     )
 
 
+@pytest.mark.slow  # hypothesis over every heuristic
 @pytest.mark.parametrize("heuristic", sorted(HEURISTICS))
 def test_invariants_hold_on_random_problems(heuristic):
     weights = CostWeights()

@@ -41,6 +41,7 @@ def make_result(problem, hw_tasks=()):
 
 
 class TestAcceptance:
+    @pytest.mark.slow  # ~10s: the exhaustive acceptance sweep
     def test_fifty_problems_all_heuristics(self):
         """ISSUE 2 acceptance: differential harness passes on >= 50
         random problems across all six heuristics."""
@@ -49,6 +50,7 @@ class TestAcceptance:
         assert report.results == 50 * len(HEURISTICS)
         assert report.ok, report.summary()
 
+    @pytest.mark.slow
     def test_deterministic_in_seed(self):
         a = run_differential(n_problems=3, seed=1, n_tasks=(5, 7))
         b = run_differential(n_problems=3, seed=1, n_tasks=(5, 7))
