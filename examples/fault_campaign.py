@@ -12,8 +12,15 @@ The campaign is deterministic end to end: the same seed produces the
 same fault list, the same per-fault outcome, and therefore the same
 histogram at any worker count (``--smoke`` asserts exactly that).
 
+``--batch`` opts software-only scenarios (``swmac``) into the
+vectorized batch tier (DESIGN §14): golden + every fault lane execute
+as columns of one :class:`repro.isa.BatchCpu`, with lane-occupancy and
+divergence-drain counters reported after the table.  Records are
+byte-identical to the scalar path (``--smoke`` asserts that too).
+
 Run:  python examples/fault_campaign.py
       python examples/fault_campaign.py --faults 200 --workers 4
+      python examples/fault_campaign.py --scenario swmac --batch
       python examples/fault_campaign.py --smoke --out deps.json
 """
 
@@ -22,6 +29,7 @@ import json
 import sys
 import time
 
+from repro.cosim.metrics import MetricsRegistry
 from repro.fault import OUTCOMES, SCENARIOS, run_campaign, sample_faults
 from repro.sweep import ResultCache
 
@@ -50,6 +58,9 @@ def main(argv=None) -> int:
                         help="with --store: record shard heartbeats "
                              "and queue gauges into the store's "
                              "telemetry table")
+    parser.add_argument("--batch", action="store_true",
+                        help="vectorized batch tier for software-only "
+                             "scenarios (one lane per fault)")
     parser.add_argument("--out", metavar="FILE",
                         help="write the dependability report as JSON")
     parser.add_argument("--smoke", action="store_true",
@@ -89,16 +100,31 @@ def main(argv=None) -> int:
         recorder = StoreRecorder(cache)
 
     print(f"campaign: scenario={args.scenario} faults={len(faults)} "
-          f"seed={args.seed} workers={args.workers}")
+          f"seed={args.seed} workers={args.workers}"
+          + (" batch" if args.batch else ""))
+    metrics = MetricsRegistry()
     t0 = time.perf_counter()
     result = run_campaign(args.scenario, faults, workers=args.workers,
-                          cache=cache, recorder=recorder)
+                          cache=cache, recorder=recorder,
+                          metrics=metrics, batch=args.batch)
     elapsed = time.perf_counter() - t0
     print()
     print(result.dependability_table())
     print()
     print(f"{result.stats.summary()}  "
           f"[{len(faults) / elapsed:.0f} faults/s]")
+    if args.batch:
+        counters = metrics.snapshot()["counters"]
+        lanes = counters.get("fault.batch.lanes", 0)
+        if lanes:
+            drained = counters.get("fault.batch.drained", 0)
+            dispatches = counters.get("fault.batch.dispatches", 0)
+            print(f"batch: {lanes} lanes, {dispatches} dispatches, "
+                  f"{drained} divergence drains "
+                  f"({drained / lanes:.1%} of lanes)")
+        else:
+            print(f"batch: scenario {args.scenario!r} has no "
+                  f"software-only cells; ran scalar")
 
     if args.smoke:
         # the acceptance contract: identical histogram at 1 and N
@@ -107,6 +133,10 @@ def main(argv=None) -> int:
         pooled = run_campaign(args.scenario, faults, workers=2)
         assert serial.to_json() == pooled.to_json(), \
             "campaign result differs across worker counts"
+        if args.batch:
+            assert result.to_json() == serial.to_json(), \
+                "batch result differs from scalar"
+            print("smoke: batch JSON byte-identical to scalar")
         hist = result.histogram()
         # crash needs a CPU to corrupt; msgpipe tops out at four classes
         expected = [o for o in OUTCOMES

@@ -393,13 +393,13 @@ def explore(
                         spec.scenario, spec.scenario_faults,
                         spec.scenario_seed, workers=workers,
                         cache=cache, span_tracer=span_tracer,
-                        metrics=metrics,
+                        metrics=metrics, batch=True,
                     )
             else:
                 model = measure_dependability(
                     spec.scenario, spec.scenario_faults,
                     spec.scenario_seed, workers=workers, cache=cache,
-                    metrics=metrics,
+                    metrics=metrics, batch=True,
                 )
 
         extra = {"problem": spec.problem.to_dict()}
@@ -536,7 +536,7 @@ def random_search(
     if spec.scenario is not None:
         model = measure_dependability(
             spec.scenario, spec.scenario_faults, spec.scenario_seed,
-            workers=workers, cache=cache, metrics=metrics,
+            workers=workers, cache=cache, metrics=metrics, batch=True,
         )
     extra = {"problem": spec.problem.to_dict()}
     archive_order: List[str] = []

@@ -277,13 +277,16 @@ def measure_dependability(
     cache=None,
     span_tracer: Optional[SpanTracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    batch: bool = False,
 ) -> DependabilityModel:
     """Run (or replay from cache) the coverage-measuring campaign.
 
     The campaign's cells land in the same cache/store the genome
     records use — fault fingerprints and genome fingerprints are
     distinct SHA-256 keys — so a warm explorer re-run recomputes
-    neither genomes nor faults.
+    neither genomes nor faults.  ``batch`` opts software-only
+    scenarios into the vectorized batch tier (DESIGN §14); the model
+    is byte-identical either way.
     """
     from repro.fault import sample_faults
     from repro.fault.campaign import run_campaign
@@ -294,7 +297,7 @@ def measure_dependability(
     )
     result = run_campaign(
         scenario, faults, workers=workers, cache=cache,
-        span_tracer=span_tracer, metrics=metrics,
+        span_tracer=span_tracer, metrics=metrics, batch=batch,
     )
     return DependabilityModel.from_campaign(result)
 

@@ -13,7 +13,9 @@ This package measures that, DAVOS/SBFI style:
   corruption, message-boundary faults, timing faults);
 * :mod:`repro.fault.scenarios` — the deterministic campaign workloads
   (``coproc``: full R32 + MAC + FIFO stack; ``msgpipe``: message rung
-  only) and :func:`run_scenario`;
+  only; ``swmac``: CPU-only, batchable) and :func:`run_scenario`,
+  plus :func:`run_sw_batch` / :func:`run_sw_sweep`, the vectorized
+  many-lane drivers for software-only scenarios (DESIGN §14);
 * :mod:`repro.fault.campaign` — :func:`run_campaign`: golden-vs-faulty
   fan-out over :func:`repro.sweep.engine.pool_map`, outcome
   classification (masked / sdc / detected / hang / crash), and the
@@ -48,7 +50,11 @@ from repro.fault.scenarios import (
     DEFAULT_WATCHDOG,
     SCENARIOS,
     Scenario,
+    SoftwareWorkload,
     run_scenario,
+    run_sw_batch,
+    run_sw_scenario,
+    run_sw_sweep,
 )
 from repro.fault.campaign import (
     CampaignError,
@@ -76,7 +82,11 @@ __all__ = [
     "DEFAULT_WATCHDOG",
     "SCENARIOS",
     "Scenario",
+    "SoftwareWorkload",
     "run_scenario",
+    "run_sw_batch",
+    "run_sw_scenario",
+    "run_sw_sweep",
     "CampaignError",
     "CampaignResult",
     "CampaignStats",

@@ -240,6 +240,7 @@ def run_campaign(
     span_tracer: Optional[SpanTracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     recorder=None,
+    batch: bool = False,
 ) -> CampaignResult:
     """Run the golden reference plus one cell per fault; classify all.
 
@@ -251,6 +252,15 @@ def run_campaign(
     parent's Perfetto timeline without perturbing the records.
     ``recorder`` arms the flight recorder exactly as in ``run_sweep``
     — live run marks and heartbeats, never a byte in the records.
+
+    ``batch=True`` routes the uncached cells of a software-only
+    scenario (golden + every CPU fault) through one
+    :class:`~repro.isa.BatchCpu` — one lane per cell, executed in the
+    parent (DESIGN §14).  Records, classification, and the cache
+    content are byte-identical to the scalar path; only wall clock and
+    the volatile stats change.  The flag is a no-op for scenarios that
+    need the simulation kernel and in store mode (where shards own
+    execution).
     """
     if scenario not in SCENARIOS:
         raise KeyError(
@@ -334,6 +344,47 @@ def run_campaign(
             span_tracer.merge_snapshot(
                 obs["spans"], lane=f"fault worker {obs['pid']}"
             )
+
+    scenario_obj = SCENARIOS[scenario]
+    if (batch and not store_mode and pending
+            and scenario_obj.software is not None):
+        from repro.fault.scenarios import run_sw_batch
+        from repro.fault.spec import CPU_KINDS
+
+        lanes: List[Tuple[str, Optional[FaultSpec]]] = []
+        rest: List[Tuple[str, Job]] = []
+        for fingerprint, job in pending:
+            fault_dict = job[1]
+            spec = FaultSpec.from_dict(fault_dict) if fault_dict else None
+            if spec is None or spec.kind in CPU_KINDS:
+                lanes.append((fingerprint, spec))
+            else:
+                rest.append((fingerprint, job))
+        if lanes:
+            t_batch = time.perf_counter()
+            lane_records, batch_stats = run_sw_batch(
+                scenario_obj, [spec for _, spec in lanes]
+            )
+            per_cell = (time.perf_counter() - t_batch) / len(lanes)
+            metrics.counter("fault.batch.lanes").inc(batch_stats.lanes)
+            metrics.counter("fault.batch.dispatches").inc(
+                batch_stats.dispatches)
+            metrics.counter("fault.batch.drained").inc(
+                batch_stats.drained())
+            metrics.histogram("fault.batch.occupancy").observe(
+                batch_stats.occupancy())
+            if emitter is not None:
+                emitter.emit(
+                    "batch", scenario=scenario,
+                    lanes=batch_stats.lanes,
+                    dispatches=batch_stats.dispatches,
+                    drained=batch_stats.drained(),
+                    occupancy=round(batch_stats.occupancy(), 4),
+                    reasons=dict(batch_stats.reasons),
+                )
+            for (fingerprint, _spec), record in zip(lanes, lane_records):
+                finish(fingerprint, record, CellTiming(per_cell), None)
+        pending = rest
 
     try:
         if store_mode:

@@ -10,7 +10,7 @@ stream, the completion flag, and the system's own error-detection
 verdict — **not** the finish time (a delayed-but-correct run is
 *masked*, per the usual SBFI outcome taxonomy).
 
-Two scenarios:
+Three scenarios:
 
 * ``coproc`` — the full stack: an R32 program streams words from an rx
   FIFO through a MAC coprocessor (register rung) while keeping a
@@ -23,6 +23,12 @@ Two scenarios:
   doubles the payload, and forwards it re-protected to a trusting
   consumer.  Upstream corruption is detectable; downstream corruption
   is silent.
+* ``swmac`` — software only (no kernel, no devices): a pure-R32
+  duplicated multiply-accumulate over an LCG input stream, with the
+  redundant copy as the detection mechanism.  Because the whole run is
+  CPU-resident, its fault campaign can execute as lanes of one
+  :class:`repro.isa.BatchCpu` (DESIGN §14) — this is the workload the
+  batch tier's speedup is measured on (EXPERIMENTS E24).
 """
 
 from __future__ import annotations
@@ -36,12 +42,18 @@ from repro.cosim.backplane import (
     MessageAdapter,
     RegisterAdapter,
 )
-from repro.cosim.kernel import Simulator, Watchdog
+from repro.cosim.kernel import HangDetected, Simulator, Watchdog
 from repro.cosim.msglevel import Channel
 from repro.cosim.signals import Clock, Signal
 from repro.cosim.translevel import FifoDevice, RegisterDevice
-from repro.fault.inject import MASK32, FaultInjector, System
-from repro.fault.spec import FaultSpec
+from repro.fault.inject import (
+    MASK32,
+    FaultInjector,
+    InjectionError,
+    System,
+    _CpuSaboteur,
+)
+from repro.fault.spec import CPU_KINDS, FaultSpec
 
 #: Default stall budget: generous against every legitimate burst of
 #: same-time activity in these scenarios, tiny against a real spin.
@@ -49,6 +61,33 @@ DEFAULT_WATCHDOG = Watchdog(max_stalled_activations=4000)
 
 #: Sentinel distinguishing "use the default watchdog" from "none".
 _USE_DEFAULT = object()
+
+
+@dataclass(frozen=True)
+class SoftwareWorkload:
+    """A pure-software (CPU-only) workload: one R32 program whose whole
+    observable outcome lives in memory when it halts.
+
+    Such scenarios need no simulation kernel — the instruction
+    ``budget`` plays the watchdog's role — and, because every run is
+    CPU-resident, a fault campaign over one can execute as lanes of a
+    single :class:`repro.isa.BatchCpu` (see :func:`run_sw_batch`).
+    """
+
+    #: assembly source of the program
+    source: str
+    #: instruction budget; exceeding it raises ``HangDetected``
+    budget: int
+    #: base address of the output window the record is read from
+    out_base: int
+    #: number of output words in the record's ``data``
+    out_len: int
+    #: last output word of a completed run
+    end_marker: int
+    #: ``data`` index of the self-check verdict (0 = mismatch caught)
+    verdict_index: int
+    #: data address the program reads its input seed from
+    seed_addr: int
 
 
 @dataclass(frozen=True)
@@ -62,7 +101,11 @@ class Scenario:
     horizon: float
     #: builds the system; returns (System, summarize) where
     #: ``summarize()`` yields the post-run outcome fields
-    build: Callable[[Simulator], Tuple[System, Callable[[], Dict[str, Any]]]]
+    build: Optional[
+        Callable[[Simulator], Tuple[System, Callable[[], Dict[str, Any]]]]
+    ] = None
+    #: set instead of ``build`` for kernel-less CPU-only workloads
+    software: Optional[SoftwareWorkload] = None
 
 
 # ----------------------------------------------------------------------
@@ -262,6 +305,214 @@ def _build_msgpipe(
     return system, summarize
 
 
+# ----------------------------------------------------------------------
+# swmac: pure-software duplicated MAC over an LCG stream (batchable)
+# ----------------------------------------------------------------------
+SW_SEED_ADDR = 0x100    # program input: LCG seed word
+SW_OUT_BASE = 0x300     # 4-word output window
+SW_SEED = 0x1234        # golden seed baked into the image
+SW_ITERS = 400
+SW_COEFF = 3
+SW_BUDGET = 8_000
+
+SWMAC_ASM = f"""
+        lw   r1, {SW_SEED_ADDR}(r0) ; x = input seed
+        li   r10, 75                ; LCG multiplier
+        li   r11, 74                ; LCG increment
+        li   r12, {SW_ITERS}        ; iterations
+        li   r2, 0                  ; i
+        li   r3, 0                  ; accumulator A
+        li   r4, 0                  ; accumulator B (redundant copy)
+        li   r7, {SW_COEFF}         ; coefficient
+loop:   mul  r1, r1, r10            ; x = 75*x + 74  (mod 2^32)
+        add  r1, r1, r11
+        mul  r5, r1, r7             ; term = x * coeff
+        add  r3, r3, r5             ; A += term
+        add  r4, r4, r5             ; B += term
+        xor  r6, r3, r4             ; running agreement scratch
+        addi r2, r2, 1
+        bne  r2, r12, loop
+        sw   r3, {SW_OUT_BASE}(r0)  ; result A
+        sw   r4, {SW_OUT_BASE + 1}(r0) ; result B
+        li   r5, 1
+        beq  r3, r4, agree
+        li   r5, 0
+agree:  sw   r5, {SW_OUT_BASE + 2}(r0) ; agreement verdict
+        li   r8, {END_MARKER}
+        sw   r8, {SW_OUT_BASE + 3}(r0) ; end marker
+        halt
+"""
+
+_SW_IMAGES: Dict[str, Dict[int, int]] = {}
+
+
+def _sw_image(scenario: Scenario) -> Dict[int, int]:
+    """The assembled image of a software scenario (memoized by name)."""
+    image = _SW_IMAGES.get(scenario.name)
+    if image is None:
+        from repro.isa.assembler import assemble
+
+        image = dict(assemble(scenario.software.source).image)
+        image.setdefault(scenario.software.seed_addr, SW_SEED)
+        _SW_IMAGES[scenario.name] = image
+    return image
+
+
+def _build_sw_cpu(scenario: Scenario) -> Any:
+    from repro.isa.cpu import Cpu
+    from repro.isa.instructions import Isa
+
+    cpu = Cpu(Isa())
+    cpu.memory.load_image(_sw_image(scenario))
+    return cpu
+
+
+def _drive_sw(cpu: Any, budget: int, steps: int = 0) -> None:
+    """Run a software-scenario CPU to completion on the scalar tiers.
+
+    Used both for whole scalar runs (``steps=0``) and to finish lanes
+    the batch tier drained at ``steps`` — the one shared driver is what
+    makes the two paths structurally byte-identical.  Raises
+    :class:`~repro.cosim.kernel.HangDetected` when the instruction
+    budget is exhausted (the software analogue of the watchdog) and
+    :class:`~repro.isa.CpuError` on an external access, mirroring
+    ``Cpu.run``.
+    """
+    from repro.isa.cpu import CpuError
+
+    while not cpu.halted:
+        if steps >= budget:
+            raise HangDetected(
+                f"instruction budget {budget} exhausted "
+                f"at pc={cpu.pc:#x}"
+            )
+        ran, _cycles, access = cpu.run_block(budget - steps)
+        steps += ran
+        if access is not None:
+            raise CpuError(
+                f"external access at {access.addr:#x} outside "
+                f"co-simulation; mount the region synchronously or "
+                f"run under a backplane"
+            )
+
+
+def _sw_record(
+    scenario: Scenario,
+    cpu: Any,
+    error: Optional[Dict[str, str]],
+) -> Dict[str, Any]:
+    sw = scenario.software
+    ram = cpu.memory.ram
+    data = [ram.get(sw.out_base + i, 0) for i in range(sw.out_len)]
+    completed = cpu.halted and data[-1] == sw.end_marker
+    return {
+        "completed": completed,
+        "detected": completed and data[sw.verdict_index] == 0,
+        "data": data,
+        "scenario": scenario.name,
+        "error": error,
+        "sim_time": float(cpu.cycle_count),
+        "activations": cpu.instr_count,
+    }
+
+
+def _sw_arm_check(scenario: Scenario, fault: FaultSpec) -> None:
+    if fault.kind not in CPU_KINDS:
+        raise InjectionError(
+            f"{fault.kind}: software scenario "
+            f"{scenario.name!r} only has a CPU surface"
+        )
+
+
+def run_sw_scenario(
+    scenario: Scenario,
+    fault: Optional[FaultSpec] = None,
+) -> Dict[str, Any]:
+    """Run one software scenario once on the scalar tiers."""
+    cpu = _build_sw_cpu(scenario)
+    if fault is not None:
+        _sw_arm_check(scenario, fault)
+        cpu.observers.append(_CpuSaboteur(cpu, fault))
+    error: Optional[Dict[str, str]] = None
+    try:
+        _drive_sw(cpu, scenario.software.budget)
+    except Exception as exc:  # folded into the record, by design
+        error = {"type": type(exc).__name__, "message": str(exc)[:200]}
+    return _sw_record(scenario, cpu, error)
+
+
+def _finish_lane(scenario: Scenario, exit: Any) -> Dict[str, Any]:
+    """Drain one batch lane to its outcome record.
+
+    Every lane — halted, drained, or budget-exhausted — goes through
+    the same :func:`_drive_sw` continuation the scalar path uses, so
+    the per-lane record is byte-identical to a scalar run of the same
+    fault.  A lane whose saboteur has not fired yet is re-armed with
+    its retirement count pre-set to the lane's exit step.
+    """
+    cpu = exit.cpu
+    if exit.spec is not None and not exit.fired:
+        saboteur = _CpuSaboteur(cpu, exit.spec)
+        saboteur.retired = exit.steps
+        cpu.observers.append(saboteur)
+    error: Optional[Dict[str, str]] = None
+    try:
+        _drive_sw(cpu, scenario.software.budget, steps=exit.steps)
+    except Exception as exc:  # folded into the record, by design
+        error = {"type": type(exc).__name__, "message": str(exc)[:200]}
+    return _sw_record(scenario, cpu, error)
+
+
+def run_sw_batch(
+    scenario: Scenario,
+    faults: List[Optional[FaultSpec]],
+) -> Tuple[List[Dict[str, Any]], Any]:
+    """Run one fault per lane of a single :class:`~repro.isa.BatchCpu`.
+
+    ``faults[i]`` arms lane ``i`` (``None`` = fault-free lane, e.g. the
+    golden run).  Returns ``(records, stats)`` with ``records[i]``
+    byte-identical to ``run_sw_scenario(scenario, faults[i])`` — the
+    DESIGN §14 contract — and ``stats`` the batch's
+    :class:`~repro.isa.BatchStats`.
+    """
+    from repro.isa import BatchCpu
+    from repro.isa.instructions import Isa
+
+    for fault in faults:
+        if fault is not None:
+            _sw_arm_check(scenario, fault)
+    batch = BatchCpu(Isa(), _sw_image(scenario), n_lanes=len(faults))
+    for lane, fault in enumerate(faults):
+        if fault is not None:
+            batch.arm(lane, fault)
+    exits = batch.run(scenario.software.budget)
+    records = [_finish_lane(scenario, exit) for exit in exits]
+    return records, batch.stats
+
+
+def run_sw_sweep(
+    scenario: Scenario,
+    seeds: List[int],
+) -> Tuple[List[Dict[str, Any]], Any]:
+    """Run one input seed per lane of a single batch (no faults).
+
+    The input-sweep twin of :func:`run_sw_batch`: every lane executes
+    the same program over a different seed word, diverging only where
+    the data makes it diverge.  ``records[i]`` is byte-identical to a
+    scalar run with ``seeds[i]`` poked into the image.
+    """
+    from repro.isa import BatchCpu
+    from repro.isa.instructions import Isa
+
+    sw = scenario.software
+    batch = BatchCpu(Isa(), _sw_image(scenario), n_lanes=len(seeds))
+    for lane, seed in enumerate(seeds):
+        batch.seed_lane(lane, sw.seed_addr, seed & MASK32)
+    exits = batch.run(sw.budget)
+    records = [_finish_lane(scenario, exit) for exit in exits]
+    return records, batch.stats
+
+
 SCENARIOS: Dict[str, Scenario] = {
     "coproc": Scenario(
         name="coproc",
@@ -287,6 +538,24 @@ SCENARIOS: Dict[str, Scenario] = {
         horizon=5_000.0,
         build=_build_msgpipe,
     ),
+    "swmac": Scenario(
+        name="swmac",
+        targets={
+            "cpu": {"regs": 16, "max_count": 3_000, "pc_bits": 8},
+            "data_bits": 16,
+            "kinds": list(CPU_KINDS),
+        },
+        horizon=float(SW_BUDGET),
+        software=SoftwareWorkload(
+            source=SWMAC_ASM,
+            budget=SW_BUDGET,
+            out_base=SW_OUT_BASE,
+            out_len=4,
+            end_marker=END_MARKER,
+            verdict_index=2,
+            seed_addr=SW_SEED_ADDR,
+        ),
+    ),
 }
 
 
@@ -302,8 +571,14 @@ def run_scenario(
     :class:`~repro.cosim.kernel.HangDetected` from the watchdog) is
     folded into the record's ``error`` field rather than propagated, so
     a campaign worker never dies to a misbehaving cell.
+
+    Software-only scenarios (``scenario.software`` set) have no kernel;
+    ``watchdog`` is ignored for them and the workload's instruction
+    budget bounds the run instead.
     """
     scenario = SCENARIOS[name]
+    if scenario.software is not None:
+        return run_sw_scenario(scenario, fault)
     if watchdog is _USE_DEFAULT:
         watchdog = DEFAULT_WATCHDOG
     sim = Simulator()

@@ -196,6 +196,7 @@ def sample_faults(
           "cpu":      {"regs": 16, "max_count": 300},  # optional
           "time":     (0.0, 3000.0),
           "data_bits": 16,                 # payload width to flip within
+          "kinds":    ["cpu_reg_flip"],    # optional kind restriction
         }
 
     Sampling is *stratified*: kinds are visited round-robin so even a
@@ -214,7 +215,9 @@ def sample_faults(
     channels = dict(targets.get("channels", {}))
     cpu = targets.get("cpu")
     available: List[str] = []
-    for kind in (kinds if kinds is not None else KINDS):
+    if kinds is None:
+        kinds = targets.get("kinds", KINDS)
+    for kind in kinds:
         if kind not in KINDS:
             raise FaultSpecError(f"unknown fault kind {kind!r}")
         if kind in SIGNAL_KINDS and not signals:

@@ -18,7 +18,11 @@ processor end to end:
   partitioning and custom-instruction mining;
 * :mod:`repro.isa.translate` — the block-translation execution tier:
   hot basic blocks compiled to specialized Python closures, proven
-  equivalent to ``step()``/``run_block()`` (DESIGN §13).
+  equivalent to ``step()``/``run_block()`` (DESIGN §13);
+* :mod:`repro.isa.batch` — the vectorized batch execution tier: many
+  near-identical runs (fault lanes, input sweeps) as columns of one
+  structure-of-arrays machine, with divergent lanes drained to the
+  scalar tiers (DESIGN §14).
 """
 
 from repro.isa.instructions import Instruction, Isa, Opcode
@@ -31,6 +35,7 @@ from repro.isa.translate import (
     enable_auto_translation,
     install,
 )
+from repro.isa.batch import BatchCpu, BatchStats, LaneExit
 
 __all__ = [
     "Isa",
@@ -42,6 +47,9 @@ __all__ = [
     "Memory",
     "CpuError",
     "BlockTranslator",
+    "BatchCpu",
+    "BatchStats",
+    "LaneExit",
     "install",
     "auto_translation",
     "enable_auto_translation",

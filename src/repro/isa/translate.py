@@ -68,6 +68,7 @@ from repro.isa.instructions import Instruction, MASK32
 __all__ = [
     "BlockTranslator",
     "install",
+    "scan_block",
     "enable_auto_translation",
     "disable_auto_translation",
     "auto_translation",
@@ -75,7 +76,7 @@ __all__ = [
 
 #: Longest translated block, in instructions.
 MAX_BLOCK_LEN = 64
-#: Block-cache entries before the cache is dropped wholesale.
+#: Block-cache entries before the oldest translation is evicted.
 MAX_BLOCKS = 1024
 #: Entries into a block before it is compiled (1 = translate eagerly).
 DEFAULT_HOT_THRESHOLD = 2
@@ -102,6 +103,33 @@ _WRAP = 0x100000000
 def _reg(index: int) -> str:
     """Operand source text with r0 pre-resolved to a literal zero."""
     return f"regs[{index}]" if index else "0"
+
+
+def scan_block(ram_get, decode, pc: int, max_len: int = MAX_BLOCK_LEN):
+    """Decode the basic block entered at ``pc`` straight from RAM.
+
+    Stops at the first control transfer (inclusive), at an
+    unprogrammed or undecodable word (exclusive), or at ``max_len``.
+    Shared by the scalar translator and the batch tier
+    (:mod:`repro.isa.batch`) so both form identical blocks from
+    identical code.  Returns ``(instrs, addrs)``.
+    """
+    instrs: List[Instruction] = []
+    addrs: List[int] = []
+    while len(instrs) < max_len:
+        word = ram_get(pc)
+        if word is None:
+            break
+        try:
+            instr = decode(word)
+        except ValueError:
+            break
+        instrs.append(instr)
+        addrs.append(pc)
+        if instr.opcode in _TERMINATORS:
+            break
+        pc += 1
+    return instrs, addrs
 
 
 def _signed_lines(var: str, out: List[str], indent: str) -> None:
@@ -140,8 +168,10 @@ class BlockTranslator:
         self._isa_version = cpu.isa.version
         #: blocks compiled over the translator's lifetime
         self.translations = 0
-        #: whole-cache drops (ISA mutation or capacity)
+        #: whole-cache drops (ISA mutation)
         self.invalidations = 0
+        #: single blocks dropped oldest-first at ``max_blocks``
+        self.evictions = 0
         #: mid-block early exits (self-modifying store or IRQ)
         self.early_exits = 0
         if cpu.memory.code_watch is None:
@@ -258,25 +288,10 @@ class BlockTranslator:
         unprogrammed or undecodable word (exclusive), or at
         ``max_block_len``.
         """
-        ram_get = self.cpu.memory.ram.get
-        decode = self.cpu.isa.decode
-        instrs: List[Instruction] = []
-        addrs: List[int] = []
-        limit = self.max_block_len
-        while len(instrs) < limit:
-            word = ram_get(pc)
-            if word is None:
-                break
-            try:
-                instr = decode(word)
-            except ValueError:
-                break
-            instrs.append(instr)
-            addrs.append(pc)
-            if instr.opcode in _TERMINATORS:
-                break
-            pc += 1
-        return instrs, addrs
+        return scan_block(
+            self.cpu.memory.ram.get, self.cpu.isa.decode, pc,
+            self.max_block_len,
+        )
 
     def _raise_fetch_error(self, pc: int) -> None:
         """Reproduce the interpreter's fetch/decode error exactly."""
@@ -298,10 +313,14 @@ class BlockTranslator:
         self, pc0: int, instrs: List[Instruction], addrs: List[int]
     ) -> Tuple:
         """Compile one scanned block into its specialized function."""
-        if len(self._blocks) >= self.max_blocks:
-            self._blocks.clear()
-            self._counts.clear()
-            self.invalidations += 1
+        if pc0 not in self._blocks and len(self._blocks) >= self.max_blocks:
+            # evict oldest-first (dict insertion order) so a long
+            # campaign replaces one cold translation instead of
+            # periodically re-translating every hot block
+            oldest = next(iter(self._blocks))
+            del self._blocks[oldest]
+            self._counts.pop(oldest, None)
+            self.evictions += 1
         cpu = self.cpu
         isa = cpu.isa
         table = isa.cycle_table()

@@ -1,0 +1,339 @@
+"""Differential property tests for the vectorized batch tier.
+
+:class:`repro.isa.BatchCpu` claims every lane is *byte-identical* to a
+scalar run of the same program with the same fault armed (DESIGN §14:
+the batch tier may only reorganize work, never change it).  Hypothesis
+drives random programs × random fault lanes — register/pc/flag flips,
+mid-run IRQs, self-modifying stores, division faults, illegal words,
+lane divergence up to fully-diverged degenerate batches — through the
+batch machine and a scalar reference, and compares complete snapshots
+*and* error strings lane by lane.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fault import FaultSpec
+from repro.fault.inject import _CpuSaboteur
+from repro.isa import BatchCpu
+from repro.isa.assembler import assemble
+from repro.isa.cpu import Cpu, CpuError, Memory
+from repro.isa.instructions import Instruction, Isa, Opcode
+
+from tests.isa.test_fastpath import (
+    BUDGET,
+    COMMON,
+    _ENC,
+    instr_st,
+    make_cpu,
+    program_words,
+    snapshot,
+)
+
+regs_st = st.integers(0, 15)
+
+reg_flip = st.builds(
+    lambda index, bit, count: FaultSpec(
+        kind="cpu_reg_flip", target="cpu",
+        index=index, bit=bit, count=count),
+    st.integers(0, 17),  # 16/17 are invalid -> scalar IndexError path
+    st.integers(0, 31), st.integers(0, 40))
+pc_flip = st.builds(
+    lambda bit, count: FaultSpec(
+        kind="cpu_pc_flip", target="cpu", bit=bit, count=count),
+    st.integers(0, 11), st.integers(0, 40))
+flag_flip = st.builds(
+    lambda flag, count: FaultSpec(
+        kind="cpu_flag_flip", target="cpu", flag=flag, count=count),
+    st.sampled_from(["irq_enabled", "irq_pending", "halted"]),
+    st.integers(0, 40))
+
+fault_st = st.one_of(st.none(), reg_flip, pc_flip, flag_flip)
+
+
+def drive_scalar(cpu, budget, steps=0):
+    """The scalar reference/continuation driver: ``run_block`` until
+    halt, budget, or error.  Shared by both sides of every comparison,
+    so a batch lane's continuation is structurally the scalar run."""
+    try:
+        while steps < budget and not cpu.halted:
+            done, _cycles, access = cpu.run_block(budget - steps)
+            assert access is None
+            steps += done
+        return None
+    except (CpuError, IndexError) as exc:
+        return f"{type(exc).__name__}: {exc}"
+
+
+def run_scalar_lane(image, spec, budget=BUDGET, poke=None):
+    cpu = make_cpu(image)
+    if poke is not None:
+        addr, value = poke
+        cpu.memory.ram[addr] = value
+    if spec is not None:
+        cpu.observers.append(_CpuSaboteur(cpu, spec))
+    return drive_scalar(cpu, budget), snapshot(cpu)
+
+
+def finish_lane(exit, budget=BUDGET):
+    cpu = exit.cpu
+    if exit.spec is not None and not exit.fired:
+        saboteur = _CpuSaboteur(cpu, exit.spec)
+        saboteur.retired = exit.steps
+        cpu.observers.append(saboteur)
+    return drive_scalar(cpu, budget, exit.steps), snapshot(cpu)
+
+
+def assert_batch_matches_scalar(image, specs, budget=BUDGET):
+    batch = BatchCpu(Isa(), image, n_lanes=len(specs))
+    for lane, spec in enumerate(specs):
+        if spec is not None:
+            batch.arm(lane, spec)
+    exits = batch.run(budget)
+    assert sorted(e.lane for e in exits) == list(range(len(specs)))
+    for exit in exits:
+        want = run_scalar_lane(image, specs[exit.lane], budget)
+        got = finish_lane(exit, budget)
+        assert got == want, (
+            f"lane {exit.lane} ({specs[exit.lane]}, "
+            f"drained as {exit.reason!r}) diverged from scalar"
+        )
+    return batch.stats
+
+
+# ----------------------------------------------------------------------
+# the core differential: random programs × random fault lanes
+# ----------------------------------------------------------------------
+class TestDifferential:
+    @settings(max_examples=50, **COMMON)
+    @given(
+        instrs=st.lists(instr_st, min_size=1, max_size=24),
+        specs=st.lists(fault_st, min_size=1, max_size=12),
+        illegal_at=st.one_of(st.none(), st.integers(0, 23)),
+    )
+    def test_random_programs_random_faults(self, instrs, specs, illegal_at):
+        image = program_words(instrs, illegal_at)
+        assert_batch_matches_scalar(image, specs)
+
+    @settings(max_examples=20, **COMMON)
+    @given(
+        instrs=st.lists(instr_st, min_size=1, max_size=16),
+        specs=st.lists(fault_st, min_size=1, max_size=6),
+        budget=st.integers(0, 60),
+    )
+    def test_budget_edges(self, instrs, specs, budget):
+        """Tiny budgets: lanes exit mid-program, including budget=0."""
+        image = program_words(instrs)
+        assert_batch_matches_scalar(image, specs, budget)
+
+    def test_single_lane(self):
+        image = program_words(
+            [Instruction(0x20, rd=1, rs1=1, imm=3)] * 4)
+        stats = assert_batch_matches_scalar(image, [None])
+        assert stats.lanes == 1
+
+
+# ----------------------------------------------------------------------
+# hot blocks: the batched codegen tier must engage and stay identical
+# ----------------------------------------------------------------------
+LOOP_ASM = """
+        li   r1, {n}
+        li   r2, 0
+loop:   mul  r3, r1, r1
+        add  r2, r2, r3
+        sw   r2, 0x200(r0)
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+"""
+
+
+def loop_image(n=30):
+    return dict(assemble(LOOP_ASM.format(n=n)).image)
+
+
+class TestHotBlocks:
+    def test_blocks_engage_and_match(self):
+        image = loop_image()
+        specs = [None] + [
+            FaultSpec(kind="cpu_reg_flip", target="cpu",
+                      index=2, bit=b, count=40 + 7 * b)
+            for b in range(6)
+        ]
+        stats = assert_batch_matches_scalar(image, specs)
+        assert stats.block_calls > 0
+        assert stats.occupancy() > 0.5
+
+    @settings(max_examples=25, **COMMON)
+    @given(specs=st.lists(fault_st, min_size=1, max_size=8))
+    def test_hot_loop_random_faults(self, specs):
+        assert_batch_matches_scalar(loop_image(), specs)
+
+
+# ----------------------------------------------------------------------
+# IRQs injected mid-run via flag flips (handler present and absent)
+# ----------------------------------------------------------------------
+IRQ_ASM = """
+        li   r1, 25
+        li   r2, 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        sw   r2, 0x200(r0)
+        halt
+        .org 0x40
+        addi r13, r13, 1      ; handler: count entries
+        reti
+"""
+
+
+class TestInterrupts:
+    @settings(max_examples=40, **COMMON)
+    @given(
+        count=st.integers(1, 90),
+        flag=st.sampled_from(["irq_pending", "irq_enabled"]),
+    )
+    def test_flag_flip_irqs_identical(self, count, flag):
+        """A pending-flag flip fires an IRQ at an arbitrary retirement
+        — including mid-way through a hot block's scalar trace — and
+        the handler returns via RETI; every lane must match scalar."""
+        image = dict(assemble(IRQ_ASM).image)
+        specs = [
+            None,
+            FaultSpec(kind="cpu_flag_flip", target="cpu",
+                      flag=flag, count=count),
+            FaultSpec(kind="cpu_flag_flip", target="cpu",
+                      flag="irq_pending", count=count + 1),
+        ]
+        assert_batch_matches_scalar(image, specs)
+
+    def test_irq_without_handler_is_a_crash_everywhere(self):
+        image = program_words(
+            [Instruction(0x20, rd=1, rs1=1, imm=1)] * 30)
+        spec = FaultSpec(kind="cpu_flag_flip", target="cpu",
+                         flag="irq_pending", count=5)
+        assert_batch_matches_scalar(image, [spec, None])
+
+
+# ----------------------------------------------------------------------
+# self-modifying code: stores into fetched addresses drain every lane
+# ----------------------------------------------------------------------
+SMC_ASM = """
+        li   r1, 0x7F000000   ; encodes HALT (li expands to 2 words)
+        li   r2, 4
+        sw   r1, 5(r0)        ; overwrite the second addi with halt
+        addi r3, r3, 1
+        addi r3, r3, 1        ; addr 5: replaced before it executes
+        halt
+"""
+
+
+class TestSelfModifyingCode:
+    def test_store_to_code_drains_and_matches(self):
+        image = dict(assemble(SMC_ASM).image)
+        specs = [None, None,
+                 FaultSpec(kind="cpu_reg_flip", target="cpu",
+                           index=3, bit=0, count=2)]
+        batch = BatchCpu(Isa(), image, n_lanes=len(specs))
+        for lane, spec in enumerate(specs):
+            if spec is not None:
+                batch.arm(lane, spec)
+        exits = batch.run(BUDGET)
+        assert "smc" in batch.stats.reasons
+        for exit in exits:
+            assert finish_lane(exit) == run_scalar_lane(
+                image, specs[exit.lane])
+
+    @settings(max_examples=20, **COMMON)
+    @given(
+        target=st.integers(0, 8),
+        word=st.sampled_from([0x7F000000, 0x20110001, 0x1F000000]),
+    )
+    def test_random_code_stores(self, target, word):
+        """Store halt / addi / an illegal word over each program
+        address in turn; batch must fall back identically."""
+        instrs = [Instruction(0x27, rd=1, imm=word >> 16),  # LUI hi
+                  Instruction(0x22, rd=1, rs1=1, imm=word & 0xFFFF),
+                  Instruction(0x31, rd=1, rs1=0, imm=target)]
+        instrs += [Instruction(0x20, rd=2, rs1=2, imm=1)] * 5
+        image = program_words(instrs)
+        assert_batch_matches_scalar(image, [None, None])
+
+
+# ----------------------------------------------------------------------
+# divergence: data-driven splits down to fully-diverged batches
+# ----------------------------------------------------------------------
+DIVERGE_ASM = """
+        lw   r1, 0x100(r0)    ; per-lane seed
+        andi r2, r1, 1
+        beq  r2, r0, even
+        addi r3, r0, 111
+        j    out
+even:   addi r3, r0, 222
+out:    sw   r3, 0x200(r0)
+        lw   r4, 0x100(r0)
+        div  r5, r3, r4       ; faults when the lane's seed is 0
+        halt
+"""
+
+
+class TestDivergence:
+    @settings(max_examples=30, **COMMON)
+    @given(seeds=st.lists(st.integers(0, 7), min_size=1, max_size=9))
+    def test_seed_lane_sweep_matches_scalar(self, seeds):
+        """Input sweep: lanes diverge on a data-dependent branch and
+        some divide by zero — each must equal a scalar run with the
+        seed poked into the image."""
+        image = dict(assemble(DIVERGE_ASM).image)
+        image.setdefault(0x100, 0)
+        batch = BatchCpu(Isa(), image, n_lanes=len(seeds))
+        for lane, seed in enumerate(seeds):
+            batch.seed_lane(lane, 0x100, seed)
+        exits = batch.run(BUDGET)
+        assert sorted(e.lane for e in exits) == list(range(len(seeds)))
+        for exit in exits:
+            want = run_scalar_lane(image, None,
+                                   poke=(0x100, seeds[exit.lane]))
+            assert finish_lane(exit) == want
+
+    def test_all_lanes_diverge_on_first_instruction(self):
+        """Degenerate batch: a zero divisor at pc=0 drains every lane
+        before a single vector instruction retires."""
+        image = program_words([Instruction(0x04, rd=1, rs1=2, rs2=3)])
+        stats = assert_batch_matches_scalar(image, [None] * 5)
+        assert stats.steps == 0
+        assert stats.lane_instrs == 0
+
+    def test_all_lanes_diverge_on_illegal_word(self):
+        image = {0: 0x1F000000}
+        assert_batch_matches_scalar(image, [None] * 3)
+
+    def test_all_lanes_diverge_on_unprogrammed_fetch(self):
+        image = program_words([Instruction(0x50, imm=9)])  # j 9 -> hole
+        assert_batch_matches_scalar(image, [None] * 3)
+
+
+# ----------------------------------------------------------------------
+# API edges
+# ----------------------------------------------------------------------
+class TestApi:
+    def test_arm_rejects_non_cpu_kinds(self):
+        batch = BatchCpu(Isa(), program_words(
+            [Instruction(0x20, rd=1, rs1=1, imm=1)]), n_lanes=1)
+        with pytest.raises(ValueError):
+            batch.arm(0, FaultSpec(kind="signal_flip", target="enable"))
+
+    def test_arm_after_run_rejected(self):
+        image = program_words([Instruction(0x20, rd=1, rs1=1, imm=1)])
+        batch = BatchCpu(Isa(), image, n_lanes=2)
+        batch.run(BUDGET)
+        with pytest.raises(RuntimeError):
+            batch.arm(0, FaultSpec(kind="cpu_reg_flip", target="cpu",
+                                   index=1, bit=0, count=1))
+
+    def test_run_is_single_shot(self):
+        image = program_words([Instruction(0x20, rd=1, rs1=1, imm=1)])
+        batch = BatchCpu(Isa(), image, n_lanes=1)
+        batch.run(BUDGET)
+        with pytest.raises(RuntimeError):
+            batch.run(BUDGET)

@@ -513,7 +513,7 @@ class TestTranslatorMechanics:
         with pytest.raises(ValueError):
             BlockTranslator(cpu, hot_threshold=0)
 
-    def test_capacity_overflow_drops_cache(self):
+    def test_capacity_overflow_evicts_oldest(self):
         instrs = []
         for _ in range(6):
             instrs.extend([
@@ -528,8 +528,26 @@ class TestTranslatorMechanics:
             cpu.pc = entry_pc
             cpu.halted = False
             cpu.run_block(2)
-        assert translator.invalidations >= 1
-        assert translator.block_count <= 2 + 1
+        # oldest-first eviction: the cache never exceeds its cap, only
+        # single blocks drop, and the whole cache is never cleared
+        assert translator.block_count == 2
+        assert translator.evictions == 4
+        assert translator.invalidations == 0
+        assert translator.translations == 6
+        # the newest blocks survived: re-entering them compiles nothing
+        for entry_pc in (8, 10):
+            cpu.pc = entry_pc
+            cpu.halted = False
+            cpu.run_block(2)
+        assert translator.translations == 6
+        # an evicted block re-translates on demand, displacing the
+        # (new) oldest entry
+        cpu.pc = 0
+        cpu.halted = False
+        cpu.run_block(2)
+        assert translator.translations == 7
+        assert translator.evictions == 5
+        assert translator.block_count == 2
 
     def test_repr_and_counters(self):
         image = program_words(
